@@ -1,0 +1,87 @@
+// §6.2 ablation: distance-based interest management ("One further
+// optimization is to reduce the frequency of updating data for avatars that
+// the user is not interacting with", citing Donnybrook). We switch the
+// decimation on for a Worlds-class event and measure the downlink saving
+// against the staleness it inflicts on far-away avatars.
+
+#include "common.hpp"
+
+using namespace msim;
+
+namespace {
+
+struct LodPoint {
+  int users{0};
+  double downMbps{0};
+  double staleRatio{0};
+  double lodSavedPct{0};
+};
+
+LodPoint runPoint(int users, bool lod, std::uint64_t seed) {
+  PlatformSpec spec = platforms::worlds();
+  spec.data.interestLod = lod;
+
+  Testbed bed{seed};
+  bed.deploy(spec);
+  for (int i = 0; i < users; ++i) {
+    TestUserConfig cfg;
+    cfg.wander = false;
+    bed.addUser(cfg);
+  }
+  // Spread the crowd: a close ring (inside nearRadius) plus a far ring.
+  auto& watcher = bed.user(0);
+  watcher.client->motion().setPose(Pose{0, 0, 0});
+  for (int i = 1; i < users; ++i) {
+    const double radius = (i % 2 == 0) ? 1.5 : 8.0;
+    const double angle = 0.9 * (i - 1) / std::max(1, users - 2) - 0.45;
+    bed.user(i).client->motion().setPose(
+        Pose{radius * std::cos(angle), radius * std::sin(angle), 180.0});
+    bed.user(i).client->setFaceTarget(0, 0);
+  }
+  bed.sim().schedule(TimePoint::epoch(), [&] {
+    for (auto& u : bed.users()) {
+      u->client->launch();
+      u->client->joinEvent();
+    }
+  });
+  bed.sim().runFor(Duration::seconds(60));
+
+  LodPoint p;
+  p.users = users;
+  p.downMbps = watcher.capture->meanRate(Channel::DataDown, 15, 59).toMbps();
+  p.staleRatio = watcher.client->visibleStaleRatio();
+  const auto& room = *bed.deployment().room();
+  const double total = static_cast<double>(
+      (room.forwardedBytes() + room.lodFilteredBytes()).toBytes());
+  p.lodSavedPct =
+      total > 0 ? 100.0 * static_cast<double>(room.lodFilteredBytes().toBytes()) /
+                      total
+                : 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§6.2 ablation — distance-based interest management",
+                "§6.2 / Donnybrook [8]: decimate updates from avatars the "
+                "user is not interacting with");
+
+  std::printf("(Worlds-class avatars; half the crowd at 1.5 m, half at 8 m)\n\n");
+  TablePrinter table{{"users", "mode", "down Mbps", "bytes saved %",
+                      "visible-stale ratio"}};
+  for (const int n : {5, 10, 15}) {
+    const LodPoint base = runPoint(n, false, 81);
+    const LodPoint lod = runPoint(n, true, 81);
+    table.addRow({std::to_string(n), "relay-all", fmt(base.downMbps, 2), "0.0",
+                  fmt(base.staleRatio, 3)});
+    table.addRow({"", "interest-LoD", fmt(lod.downMbps, 2),
+                  fmt(lod.lodSavedPct, 1), fmt(lod.staleRatio, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\ntakeaway: decimating far avatars' updates claws back a large slice\n"
+      "of the linearly-growing downlink at a bounded staleness cost — but\n"
+      "the asymptotic scaling with crowd size remains, as §6.2 argues.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 13: Worlds uplink disruption. Top: throttling all uplink traffic
+// (1.5..0.3 Mbps); UDP collapses whenever TCP spikes (strict TCP priority).
+// Bottom: shaping ONLY uplink TCP — +5/10/15 s delay creates equal UDP
+// gaps; 100% TCP loss kills the UDP session ~30 s later for good, while
+// TCP itself later recovers.
+
+#include "common.hpp"
+
+using namespace msim;
+
+namespace {
+void windowRow(const char* name, const std::vector<double>& v, int start,
+               int stageLen, int stages) {
+  std::printf("%-14s", name);
+  for (int s = 0; s < stages; ++s) {
+    double sum = 0;
+    int n = 0;
+    for (int i = start + s * stageLen + 3; i < start + (s + 1) * stageLen - 2 &&
+                                           i < static_cast<int>(v.size());
+         ++i) {
+      sum += v[i];
+      ++n;
+    }
+    std::printf(" %8.1f", n > 0 ? sum / n : 0.0);
+  }
+  std::printf("\n");
+}
+
+double gapRunLength(const std::vector<double>& v, int a, int b) {
+  // Longest run of near-zero seconds in [a,b).
+  int best = 0;
+  int run = 0;
+  for (int i = a; i < b && i < static_cast<int>(v.size()); ++i) {
+    if (v[i] < 10.0) {
+      best = std::max(best, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+int main() {
+  bench::header("Fig. 13 (top) — Worlds uplink throttle (1.5..0.3 Mbps)",
+                "Fig. 13 top, §8.1");
+  {
+    const DisruptionTimeline d =
+        runWorldsDisruption(DisruptionKind::UplinkBandwidth, 37);
+    std::printf("%-14s %8s %8s %8s %8s %8s %8s %8s %8s\n", "stage", "warmup",
+                "1.5Mbps", "1.2", "1.0", "0.7", "0.5", "0.3", "N");
+    windowRow("udp-up Kbps", d.udpUpKbps, 0, 40, 8);
+    windowRow("udp-down Kbps", d.udpDownKbps, 0, 40, 8);
+    windowRow("tcp-up Kbps", d.tcpUpKbps, 0, 40, 8);
+    bench::writeSeriesCsv("fig13_top_worlds_uplink",
+                          {"udp_up_kbps", "udp_down_kbps", "tcp_up_kbps"},
+                          {d.udpUpKbps, d.udpDownKbps, d.tcpUpKbps});
+    std::printf(
+        "\npaper checkpoints: the client uses whatever uplink remains; once\n"
+        "capacity is short, U1's constrained uplink also pulls down U1's own\n"
+        "DOWNLINK (U2 prioritizes recovery over uploading); UDP dips whenever\n"
+        "a TCP spike claims the uplink (TCP has strict priority).\n");
+  }
+
+  bench::header("Fig. 13 (bottom) — TCP-only uplink control",
+                "Fig. 13 bottom, §8.1 (stages of 60 s: +5 s, +10 s, +15 s "
+                "delay, then 100% TCP loss, then restored)");
+  {
+    const DisruptionTimeline d =
+        runWorldsDisruption(DisruptionKind::TcpUplinkOnly, 37);
+    std::printf("%-14s %8s %8s %8s %8s %8s\n", "stage", "warmup", "+5s",
+                "+10s", "+15s", "100%loss");
+    windowRow("udp-up Kbps", d.udpUpKbps, 0, 60, 5);
+    windowRow("udp-down Kbps", d.udpDownKbps, 0, 60, 5);
+    windowRow("tcp-up Kbps", d.tcpUpKbps, 0, 60, 5);
+    bench::writeSeriesCsv("fig13_bottom_worlds_tcponly",
+                          {"udp_up_kbps", "udp_down_kbps", "tcp_up_kbps"},
+                          {d.udpUpKbps, d.udpDownKbps, d.tcpUpKbps});
+    std::printf("longest UDP-uplink gap per stage (s): +5s stage: %.0f | "
+                "+10s: %.0f | +15s: %.0f (paper: gap ~= injected delay)\n",
+                gapRunLength(d.udpUpKbps, 65, 120),
+                gapRunLength(d.udpUpKbps, 125, 180),
+                gapRunLength(d.udpUpKbps, 185, 240));
+    std::printf("screen frozen: %s at t=%.0f s (blackout starts at 240 s; "
+                "paper: ~30 s into the blackout)\n",
+                d.screenFrozeAtEnd ? "YES" : "no", d.frozeAtSec);
+    double tcpAfter = 0;
+    for (int i = 305; i < 355 && i < static_cast<int>(d.tcpUpKbps.size()); ++i) {
+      tcpAfter += d.tcpUpKbps[i];
+    }
+    double udpAfter = 0;
+    for (int i = 305; i < 355 && i < static_cast<int>(d.udpUpKbps.size()); ++i) {
+      udpAfter += d.udpUpKbps[i];
+    }
+    std::printf("after netem reset: TCP bytes resume: %s | UDP restored: %s "
+                "(paper: TCP recovers, UDP never does)\n",
+                tcpAfter > 1.0 ? "yes" : "no", udpAfter > 10.0 ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 7: average downlink throughput (top) and FPS (bottom) vs number of
+// users (1-15), with 95% confidence intervals.
+
+#include "common.hpp"
+
+using namespace msim;
+
+int main() {
+  const int seeds = bench::seedCount();
+  const Duration window = bench::measureWindow();
+  bench::header("Fig. 7 — downlink throughput & FPS vs users (1..15)",
+                "Fig. 7 (§6.1 controlled 1-5, §6.2 public events 7-15); " +
+                    std::to_string(seeds) + " runs/cell");
+
+  const int userCounts[] = {1, 2, 3, 4, 5, 7, 10, 12, 15};
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    TablePrinter table{{"users", "down Mbps (±CI)", "FPS (±CI)", "FPS drop"}};
+    double fps1 = 0;
+    std::vector<double> users;
+    std::vector<double> tput;
+    for (const int n : userCounts) {
+      const SweepPoint p = runUsersSweepPoint(spec, n, seeds, window);
+      if (n == 1) fps1 = p.fps;
+      users.push_back(n);
+      tput.push_back(p.downMbps);
+      table.addRow({std::to_string(n),
+                    fmt(p.downMbps, 3) + " ±" + fmt(p.downMbpsCi, 3),
+                    fmt(p.fps, 1) + " ±" + fmt(p.fpsCi, 1),
+                    fmt(100.0 * (fps1 - p.fps) / fps1, 0) + "%"});
+    }
+    table.print(std::cout);
+    const LinearFit fit = linearFit(users, tput);
+    std::printf("throughput linearity: slope %.3f Mbps/user, R^2 = %.3f\n",
+                fit.slope, fit.r2);
+  }
+  std::printf(
+      "\npaper checkpoints: downlink grows linearly with users on every\n"
+      "platform (Worlds >4.5 Mbps at 15 — ~30 Mbps extrapolated at 100 users,\n"
+      "beyond the FCC 25 Mbps broadband definition); FPS declines with users;\n"
+      "Worlds has the smallest drop (~25%% at 15) and Hubs the largest\n"
+      "(72 -> ~60 at 5 -> ~33 at 15, ~54%%).\n");
+  return 0;
+}

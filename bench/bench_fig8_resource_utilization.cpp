@@ -1,0 +1,58 @@
+// Fig. 8: average CPU and GPU utilization and memory footprint on Quest 2
+// vs number of users — plus §6.2's memory/energy observations.
+
+#include "common.hpp"
+
+using namespace msim;
+
+int main() {
+  const int seeds = bench::seedCount();
+  const Duration window = bench::measureWindow();
+  bench::header("Fig. 8 — CPU/GPU utilization & memory vs users (1..15)",
+                "Fig. 8, §6.2; " + std::to_string(seeds) + " runs/cell");
+
+  const int userCounts[] = {1, 2, 3, 4, 5, 7, 10, 12, 15};
+  struct Endpoints {
+    double cpu1{0}, cpu15{0}, gpu1{0}, gpu15{0}, mem15{0};
+  };
+
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    TablePrinter table{{"users", "CPU % (±CI)", "GPU % (±CI)", "mem GB"}};
+    Endpoints e;
+    for (const int n : userCounts) {
+      const SweepPoint p = runUsersSweepPoint(spec, n, seeds, window);
+      if (n == 1) {
+        e.cpu1 = p.cpuPct;
+        e.gpu1 = p.gpuPct;
+      }
+      if (n == 15) {
+        e.cpu15 = p.cpuPct;
+        e.gpu15 = p.gpuPct;
+        e.mem15 = p.memGB;
+      }
+      table.addRow({std::to_string(n), fmt(p.cpuPct) + " ±" + fmt(p.cpuCi),
+                    fmt(p.gpuPct) + " ±" + fmt(p.gpuCi), fmt(p.memGB, 2)});
+    }
+    table.print(std::cout);
+    std::printf("growth 1 -> 15 users: CPU +%.0f pts, GPU +%.0f pts; "
+                "memory at 15 users: %.2f GB\n",
+                e.cpu15 - e.cpu1, e.gpu15 - e.gpu1, e.mem15);
+  }
+
+  // §6.2 energy: <10% battery per 10 minutes even at 15 users.
+  std::printf("\n--- §6.2 battery drain (10-minute event, 15 users) ---\n");
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    const SweepPoint p =
+        runUsersSweepPoint(spec, 15, 1, Duration::minutes(10));
+    std::printf("%-12s battery used: %4.1f%% (paper: <10%%)\n",
+                spec.name.c_str(), p.batteryDropPct);
+  }
+  std::printf(
+      "\npaper checkpoints: Hubs has the highest CPU (≈100%% at 15 users);\n"
+      "AltspaceVR leans on the GPU (+25 GPU vs +15 CPU points from 1 to 15);\n"
+      "other platforms grow CPU by ~20 points and GPU by 10-15; each remote\n"
+      "avatar costs ~10 MB of memory; Worlds peaks near 2 GB (~33%% of the\n"
+      "Quest 2's 6 GB); battery stays under 10%% per 10 minutes.\n");
+  return 0;
+}

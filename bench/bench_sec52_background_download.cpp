@@ -1,0 +1,30 @@
+// §5.2: how each platform delivers the (static) virtual background —
+// install-time bundling, init-time download, per-launch download, or the
+// Hubs per-join re-download (the caching bug the authors reported).
+
+#include "common.hpp"
+
+using namespace msim;
+
+int main() {
+  bench::header("§5.2 — virtual background download behaviour",
+                "§5.2 (AltspaceVR/VRChat 10-30 MB at init; Rec Room "
+                "pre-bundled; Worlds ~5 MB per launch; Hubs ~20 MB per join)");
+
+  TablePrinter table{{"Platform", "app size MB", "launch-phase DL MB",
+                      "join-phase DL MB", "caches background"}};
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    const DownloadTrace trace = runDownloadTrace(spec, 47);
+    table.addRow({trace.platform, fmt(trace.appStoreSizeMB, 0),
+                  fmt(trace.launchDownloadMB, 1), fmt(trace.joinDownloadMB, 1),
+                  trace.cachesBackground ? "yes" : "NO (Hubs bug)"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper checkpoints: Rec Room downloads nothing at launch (its 1.41 GB\n"
+      "app pre-bundles the worlds); AltspaceVR/VRChat fetch 10-30 MB at\n"
+      "initialization; Worlds fetches ~5 MB every launch ('Preparing for\n"
+      "Visitors'); Hubs re-fetches ~20 MB on every join because it does not\n"
+      "cache — the >100 Mbps burst the paper omits from Fig. 2.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the simulator substrate itself (google-benchmark):
+// event queue, link transport, TCP bulk transfer, and a full two-user
+// platform scenario — the costs that bound every experiment above.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiments.hpp"
+#include "transport/tcp.hpp"
+
+using namespace msim;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim{1};
+    for (int i = 0; i < events; ++i) {
+      sim.scheduleAfter(Duration::micros(static_cast<double>(i % 1000)), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PeriodicTasks(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim{1};
+    int fired = 0;
+    PeriodicTask task{sim, Duration::millis(1), [&] { ++fired; }};
+    sim.runFor(Duration::seconds(1));
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_PeriodicTasks);
+
+void BM_UdpLinkTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim{1};
+    Network net{sim};
+    Node& a = net.addNode("a");
+    Node& b = net.addNode("b");
+    a.addAddress(Ipv4Address(10, 0, 0, 1));
+    b.addAddress(Ipv4Address(10, 0, 0, 2));
+    auto [da, db] = Link::connect(a, b, LinkConfig{});
+    a.setDefaultRoute(da);
+    b.setDefaultRoute(db);
+    UdpSocket server{b, 5000};
+    UdpSocket client{a};
+    int received = 0;
+    server.onReceive([&](const Packet&, const Endpoint&) { ++received; });
+    for (int i = 0; i < 1000; ++i) {
+      client.sendTo(Endpoint{b.primaryAddress(), 5000}, ByteSize::bytes(500));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_UdpLinkTransfer);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim{1};
+    Network net{sim};
+    Node& a = net.addNode("a");
+    Node& b = net.addNode("b");
+    a.addAddress(Ipv4Address(10, 0, 0, 1));
+    b.addAddress(Ipv4Address(10, 0, 0, 2));
+    LinkConfig cfg;
+    cfg.rate = DataRate::mbps(100);
+    cfg.delay = Duration::millis(5);
+    auto [da, db] = Link::connect(a, b, cfg);
+    a.setDefaultRoute(da);
+    b.setDefaultRoute(db);
+    TcpListener listener{b, 443};
+    std::int64_t got = 0;
+    listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+      s->onMessage([&](const Message& m) { got += m.size.toBytes(); });
+    });
+    auto client = TcpSocket::create(a);
+    client->connect(Endpoint{b.primaryAddress(), 443}, nullptr);
+    Message m;
+    m.kind = "bulk";
+    m.size = ByteSize::megabytes(1);
+    client->send(std::move(m));
+    sim.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * 1'000'000);
+}
+BENCHMARK(BM_TcpBulkTransfer);
+
+void BM_TwoUserPlatformSecond(benchmark::State& state) {
+  // Simulated-seconds-per-wall-second for the standard two-user scenario.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Testbed bed{1};
+    bed.deploy(platforms::vrchat());
+    TestUser& u1 = bed.addUser();
+    TestUser& u2 = bed.addUser();
+    bed.sim().schedule(TimePoint::epoch(), [&] {
+      u1.client->launch();
+      u2.client->launch();
+      u1.client->joinEvent();
+      u2.client->joinEvent();
+    });
+    bed.sim().runFor(Duration::seconds(2));  // warm-up outside timing
+    state.ResumeTiming();
+    bed.sim().runFor(Duration::seconds(10));
+  }
+}
+BENCHMARK(BM_TwoUserPlatformSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: feature comparison of the five social VR platforms.
+
+#include "common.hpp"
+#include "platform/spec.hpp"
+
+using namespace msim;
+
+namespace {
+const char* mark(bool b) { return b ? "yes" : "no"; }
+}  // namespace
+
+int main() {
+  bench::header("Table 1 — platform feature comparison",
+                "Table 1 (locomotion, facial expression, personal space, "
+                "game, share screen, shopping, NFT)");
+  TablePrinter table{{"Platform", "Year", "Company", "Locomotion", "Facial",
+                      "PersonalSpace", "Game", "ShareScreen", "Shopping", "NFT",
+                      "WebBased"}};
+  for (const PlatformSpec& p : platforms::allFive()) {
+    const FeatureSpec& f = p.features;
+    table.addRow({p.name, std::to_string(f.releaseYear), f.company,
+                  f.locomotion, mark(f.facialExpression), mark(f.personalSpace),
+                  mark(f.game), mark(f.shareScreen), mark(f.shopping),
+                  mark(f.nft), mark(f.webBased)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper checkpoints: Hubs is the only platform without games and\n"
+      "without a personal-space bubble; Rec Room alone supports shopping and\n"
+      "NFTs; AltspaceVR and Hubs alone support screen sharing.\n");
+
+  // Figs. 4/5 are avatar photographs; this is their textual inventory.
+  bench::header("Figs. 4/5 — avatar embodiment inventory",
+                "Fig. 4 (avatar styles), Fig. 5 (Worlds gesture-driven "
+                "expressions), §5.2");
+  TablePrinter avatars{{"Platform", "Style", "Arms", "FacialExpr", "FullBody",
+                        "Tracked", "Update", "Bytes/update", "Avatar Kbps"}};
+  for (const PlatformSpec& p : platforms::allFive()) {
+    const AvatarSpec& a = p.avatar;
+    avatars.addRow({p.name, a.style, mark(a.hasArms), mark(a.facialExpressions),
+                    mark(a.fullBody), std::to_string(a.trackedComponents),
+                    fmt(a.updateRateHz, 0) + " Hz",
+                    std::to_string(a.bytesPerUpdate.toBytes()),
+                    fmt(a.meanUpdateRate().toKbps(), 1)});
+  }
+  avatars.print(std::cout);
+  std::printf(
+      "\npaper checkpoints: only Worlds is human-like (gesture-driven facial\n"
+      "expressions via controller tracking, Fig. 5); only VRChat renders\n"
+      "lower limbs; AltspaceVR and Hubs lack both arms and expressions —\n"
+      "embodiment richness ranks exactly like the avatar data rate (§5.2).\n");
+  return 0;
+}

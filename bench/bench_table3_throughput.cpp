@@ -1,0 +1,57 @@
+// Table 3: two-user data-channel throughput, content resolution, and
+// avatar-only throughput (via the paper's join-mutely differencing).
+
+#include "common.hpp"
+
+using namespace msim;
+
+namespace {
+struct PaperRow {
+  const char* name;
+  double up, upStd, down, downStd, avatar, avatarStd;
+};
+// Table 3 of the paper (Kbps; avg/std).
+constexpr PaperRow kPaper[] = {
+    {"VRChat", 31.4, 2.6, 31.3, 3.3, 24.7, 1.5},
+    {"AltspaceVR", 41.3, 2.1, 40.4, 3.2, 11.1, 1.2},
+    {"Rec Room", 41.7, 3.8, 41.5, 3.0, 35.2, 4.1},
+    {"Hubs", 83.3, 5.6, 83.1, 6.4, 77.4, 7.7},
+    {"Worlds", 752, 12, 413, 8.3, 332, 7.5},
+};
+
+const PaperRow* paperFor(const std::string& name) {
+  for (const auto& row : kPaper) {
+    if (name == row.name) return &row;
+  }
+  return nullptr;
+}
+}  // namespace
+
+int main() {
+  const int seeds = bench::seedCount();
+  bench::header("Table 3 — two-user throughput & avatar embodiment",
+                "Table 3 (§5.1, §5.2); " + std::to_string(seeds) + " runs/cell");
+
+  TablePrinter table{{"Platform", "Up Kbps (paper)", "Down Kbps (paper)",
+                      "Resolution", "Avatar Kbps (paper)", "dUp", "dDown"}};
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    const TwoUserThroughputRow row = runTwoUserThroughput(spec, seeds);
+    const PaperRow* paper = paperFor(row.platform);
+    table.addRow({row.platform,
+                  fmtMeanStd(row.upKbps, row.upStd) + "  (" +
+                      fmtMeanStd(paper->up, paper->upStd) + ")",
+                  fmtMeanStd(row.downKbps, row.downStd) + "  (" +
+                      fmtMeanStd(paper->down, paper->downStd) + ")",
+                  std::to_string(row.resWidth) + "x" + std::to_string(row.resHeight),
+                  fmt(row.avatarKbps) + "  (" + fmt(paper->avatar) + ")",
+                  bench::vsPaper(row.upKbps, paper->up),
+                  bench::vsPaper(row.downKbps, paper->down)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper checkpoints: all platforms <100 Kbps except Worlds (~750 up /\n"
+      "~410 down); uplink ~= downlink everywhere except Worlds; throughput\n"
+      "independent of resolution (AltspaceVR has the highest resolution but\n"
+      "Rec-Room-class throughput); avatar data dominates the totals.\n");
+  return 0;
+}

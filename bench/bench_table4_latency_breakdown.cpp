@@ -1,0 +1,64 @@
+// Table 4: end-to-end latency and its sender/receiver/server breakdown,
+// measured with the paper's screen-recording + clock-sync method, including
+// the private Hubs server comparison (~70% server-latency reduction).
+
+#include "common.hpp"
+
+using namespace msim;
+
+namespace {
+struct PaperRow {
+  const char* name;
+  double e2e, e2eStd, snd, sndStd, rcv, rcvStd, srv, srvStd;
+};
+constexpr PaperRow kPaper[] = {
+    {"Rec Room", 101.7, 8.7, 25.9, 8.6, 39.9, 7.8, 29.9, 6.4},
+    {"VRChat", 104.3, 9.3, 27.3, 6.2, 37.4, 6.4, 33.5, 9.5},
+    {"Worlds", 128.5, 11, 26.2, 4.5, 49.1, 9.1, 40.2, 11},
+    {"AltspaceVR", 209.2, 13, 24.5, 5.2, 36.1, 9.9, 68.6, 12},
+    {"Hubs", 239.1, 7.3, 42.4, 6.3, 60.1, 6.5, 52.2, 7.7},
+    {"Hubs*", 130.7, 6.3, 40.3, 5.2, 61.5, 5.7, 16.2, 2.4},
+};
+const PaperRow* paperFor(const std::string& n) {
+  for (const auto& r : kPaper) {
+    if (n == r.name) return &r;
+  }
+  return nullptr;
+}
+}  // namespace
+
+int main() {
+  const int seeds = bench::seedCount(3);
+  const int probes = 20;
+  bench::header("Table 4 — end-to-end latency breakdown (2 users)",
+                "Table 4 (§7): screen-recording E2E + AP-timestamp breakdown; " +
+                    std::to_string(seeds * probes) + " probes/row");
+
+  TablePrinter table{{"Platform", "E2E ms (paper)", "Sender (paper)",
+                      "Receiver (paper)", "Server (paper)", "dE2E"}};
+  for (const PlatformSpec& spec :
+       {platforms::recRoom(), platforms::vrchat(), platforms::worlds(),
+        platforms::altspaceVR(), platforms::hubs(), platforms::hubsPrivate()}) {
+    const LatencyRow row = runLatencyExperiment(spec, 2, probes, seeds);
+    const PaperRow* paper = paperFor(row.platform);
+    table.addRow({row.platform,
+                  fmtMeanStd(row.e2eMs, row.e2eStd) + "  (" +
+                      fmtMeanStd(paper->e2e, paper->e2eStd) + ")",
+                  fmtMeanStd(row.senderMs, row.senderStd) + "  (" +
+                      fmtMeanStd(paper->snd, paper->sndStd) + ")",
+                  fmtMeanStd(row.receiverMs, row.receiverStd) + "  (" +
+                      fmtMeanStd(paper->rcv, paper->rcvStd) + ")",
+                  fmtMeanStd(row.serverMs, row.serverStd) + "  (" +
+                      fmtMeanStd(paper->srv, paper->srvStd) + ")",
+                  bench::vsPaper(row.e2eMs, paper->e2e)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper checkpoints: Hubs (~240 ms) and AltspaceVR (~210 ms) exceed\n"
+      "the 150 ms immersive-collaboration threshold; AltspaceVR has the\n"
+      "highest server latency (viewport prediction); receiver processing\n"
+      "exceeds sender processing everywhere and exceeds server processing\n"
+      "except on AltspaceVR (local-rendering evidence, §6.3); the private\n"
+      "Hubs server cuts server latency ~70%%.\n");
+  return 0;
+}

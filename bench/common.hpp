@@ -1,0 +1,104 @@
+#pragma once
+
+// Shared plumbing for the bench harness. Every bench binary regenerates one
+// of the paper's tables or figures and prints the same rows/series, next to
+// the paper's reported values where the paper gives numbers.
+//
+// Runtime knobs:
+//   MSIM_SEEDS     repetitions per reported cell (default 5; the paper
+//                  averaged "more than 20" — set 20+ for publication runs)
+//   MSIM_MEASURE_S measurement window seconds for sweeps (default 30)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+
+namespace msim::bench {
+
+inline int seedCount(int fallback = 5) {
+  if (const char* env = std::getenv("MSIM_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline Duration measureWindow(double fallbackSec = 30.0) {
+  if (const char* env = std::getenv("MSIM_MEASURE_S")) {
+    const double v = std::atof(env);
+    if (v > 0) return Duration::seconds(v);
+  }
+  return Duration::seconds(fallbackSec);
+}
+
+inline void header(const std::string& title, const std::string& paperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paperRef.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Compact series rendering: value at every `step`-th second.
+inline void printSeries(const std::string& label, const std::vector<double>& v,
+                        std::size_t step = 10, const char* unit = "") {
+  std::printf("%-18s", label.c_str());
+  for (std::size_t i = 0; i < v.size(); i += step) {
+    std::printf(" %7.1f", v[i]);
+  }
+  std::printf(" %s\n", unit);
+}
+
+inline void printSeriesHeader(const std::string& label, std::size_t n,
+                              std::size_t step = 10) {
+  std::printf("%-18s", label.c_str());
+  for (std::size_t i = 0; i < n; i += step) {
+    std::printf(" %6zus", i);
+  }
+  std::printf("\n");
+}
+
+/// "within x% of the paper" annotation.
+inline std::string vsPaper(double measured, double paper) {
+  if (paper == 0.0) return "-";
+  const double pct = 100.0 * (measured - paper) / paper;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", pct);
+  return buf;
+}
+
+/// When MSIM_CSV_DIR is set, writes per-second series as
+/// <dir>/<figure>.csv with a time column — plot-ready data for every
+/// regenerated figure. Returns true if a file was written.
+inline bool writeSeriesCsv(const std::string& figure,
+                           const std::vector<std::string>& columns,
+                           const std::vector<std::vector<double>>& series) {
+  const char* dir = std::getenv("MSIM_CSV_DIR");
+  if (dir == nullptr || columns.size() != series.size() || series.empty()) {
+    return false;
+  }
+  const std::string path = std::string{dir} + "/" + figure + ".csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "t_sec");
+  for (const auto& c : columns) std::fprintf(f, ",%s", c.c_str());
+  std::fprintf(f, "\n");
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.size());
+  for (std::size_t t = 0; t < n; ++t) {
+    std::fprintf(f, "%zu", t);
+    for (const auto& s : series) {
+      std::fprintf(f, ",%.3f", t < s.size() ? s[t] : 0.0);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("[csv] wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace msim::bench

@@ -1,0 +1,82 @@
+// Infrastructure survey: run the paper's §4 toolbox — ping, TCP ping,
+// traceroute, WHOIS/geolocation, anycast inference — against any platform's
+// server fleet, from any vantage region.
+//
+//   ./infra_survey [platform] [vantage-region]
+//   regions: us-east us-west us-north europe middle-east
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "geo/tools.hpp"
+
+using namespace msim;
+
+int main(int argc, char** argv) {
+  const std::string platName = argc > 1 ? argv[1] : "recroom";
+  const std::string regionName = argc > 2 ? argv[2] : "us-east";
+
+  PlatformSpec spec = platforms::recRoom();
+  for (const PlatformSpec& p : platforms::allFive()) {
+    std::string lower = p.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    lower.erase(std::remove(lower.begin(), lower.end(), ' '), lower.end());
+    if (lower == platName) spec = p;
+  }
+  Region vantageRegion = regions::usEast();
+  for (const Region& r : regions::all()) {
+    if (r.name == regionName) vantageRegion = r;
+  }
+
+  std::printf("== infrastructure survey: %s, probing from %s ==\n\n",
+              spec.name.c_str(), vantageRegion.name.c_str());
+
+  Testbed bed{5};
+  bed.deploy(spec);
+  Node& vantage = bed.fabric().attachHost("vantage", vantageRegion,
+                                          Ipv4Address(10, 99, 0, 1));
+  Node& north = bed.fabric().attachHost("x-north", regions::usNorth(),
+                                        Ipv4Address(10, 99, 0, 2));
+  Node& mideast = bed.fabric().attachHost("x-me", regions::middleEast(),
+                                          Ipv4Address(10, 99, 0, 3));
+
+  const WhoisDb whois = addrplan::defaultWhois();
+  const Endpoint ctl = bed.deployment().controlEndpointFor(vantageRegion);
+  const Endpoint data = bed.deployment().dataEndpointFor(vantageRegion, 0);
+
+  for (const auto& [label, ep] :
+       {std::pair{std::string{"control"}, ctl}, std::pair{std::string{"data"}, data}}) {
+    std::printf("--- %s channel: %s ---\n", label.c_str(), ep.toString().c_str());
+    std::printf("whois: owner=%s registered-geo=%s\n",
+                whois.ownerOf(ep.addr).c_str(), whois.geolocate(ep.addr).c_str());
+
+    PingTool pinger{vantage};
+    pinger.ping(ep.addr, 10, [&](const PingResult& r) {
+      if (r.reachable()) {
+        std::printf("ping: %d/%d replies, rtt %.2f/%.2f ms (avg/std)\n",
+                    r.received, r.sent, r.rttMs.mean(), r.rttMs.stddev());
+      } else {
+        std::printf("ping: no ICMP replies (host blocks ICMP?)\n");
+      }
+    });
+    TracerouteTool tracer{vantage};
+    tracer.trace(ep.addr, [&](const std::vector<TracerouteHop>& hops) {
+      std::printf("traceroute:\n");
+      for (const auto& hop : hops) {
+        std::printf("  %2d  %-16s %7.2f ms%s\n", hop.ttl,
+                    hop.addr.isUnspecified() ? "*" : hop.addr.toString().c_str(),
+                    hop.rttMs, hop.reachedTarget ? "  <- target" : "");
+      }
+    });
+    AnycastInference::run(bed.sim(), {&vantage, &north, &mideast}, ep.addr,
+                          [&](const AnycastReport& rep) {
+                            std::printf("anycast inference: %s (%s)\n",
+                                        rep.likelyAnycast ? "ANYCAST" : "unicast",
+                                        rep.rationale.c_str());
+                          });
+    bed.sim().runFor(Duration::seconds(30));
+    std::printf("\n");
+  }
+  return 0;
+}

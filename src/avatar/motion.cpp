@@ -1,0 +1,36 @@
+#include "avatar/motion.hpp"
+
+namespace msim {
+
+double normalizeAngleDeg(double deg) {
+  while (deg > 180.0) deg -= 360.0;
+  while (deg <= -180.0) deg += 360.0;
+  return deg;
+}
+
+double bearingDeg(const Pose& from, double x, double y) {
+  return normalizeAngleDeg(std::atan2(y - from.y, x - from.x) * 180.0 / M_PI);
+}
+
+void MotionModel::advance(Duration dt) {
+  if (!walking_) return;
+  const double dx = targetX_ - pose_.x;
+  const double dy = targetY_ - pose_.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  const double step = speed_ * dt.toSeconds();
+  if (dist <= step || dist < 1e-9) {
+    pose_.x = targetX_;
+    pose_.y = targetY_;
+    walking_ = false;
+    return;
+  }
+  pose_.yawDeg = bearingDeg(pose_, targetX_, targetY_);
+  pose_.x += dx / dist * step;
+  pose_.y += dy / dist * step;
+}
+
+void MotionModel::wander(Rng& rng, double roomHalf) {
+  walkTo(rng.uniform(-roomHalf, roomHalf), rng.uniform(-roomHalf, roomHalf));
+}
+
+}  // namespace msim

@@ -1,0 +1,43 @@
+#pragma once
+
+// Viewport geometry.
+//
+// AltspaceVR's server forwards an avatar's data only when it falls inside a
+// ~150° wedge around the receiving user's facing direction (§6.1) — wider
+// than the headset's optical FoV to absorb viewport-prediction error. This
+// header is that geometry, shared by the server-side filter, the detection
+// bench, and the on-device renderer (which culls to the same wedge when
+// counting visible avatars for frame cost).
+
+#include "avatar/motion.hpp"
+
+namespace msim {
+
+/// Horizontal angle (absolute degrees, [0, 180]) between the observer's
+/// facing direction and the direction to the target point.
+[[nodiscard]] inline double viewAngleDeg(const Pose& observer, double targetX,
+                                         double targetY) {
+  const double bearing = bearingDeg(observer, targetX, targetY);
+  const double diff = normalizeAngleDeg(bearing - observer.yawDeg);
+  return diff < 0 ? -diff : diff;
+}
+
+/// True if the target lies within a wedge of `widthDeg` centred on the
+/// observer's facing direction.
+[[nodiscard]] inline bool inViewport(const Pose& observer, double targetX,
+                                     double targetY, double widthDeg) {
+  return viewAngleDeg(observer, targetX, targetY) <= widthDeg / 2.0;
+}
+
+/// The wedge width the paper measured for AltspaceVR's server filter.
+inline constexpr double kAltspaceViewportWidthDeg = 150.0;
+
+/// Quest 2's approximate optical horizontal FoV (what the user can see).
+inline constexpr double kQuest2FovDeg = 97.0;
+
+/// Maximum data saving the filter can deliver (1 - width/360 ≈ 58%).
+[[nodiscard]] inline double maxViewportSaving(double widthDeg) {
+  return 1.0 - widthDeg / 360.0;
+}
+
+}  // namespace msim

@@ -1,0 +1,290 @@
+#include "platform/relay.hpp"
+
+#include <cmath>
+
+#include "avatar/codec.hpp"
+
+namespace msim {
+
+namespace {
+/// Intra-site replica-to-replica forwarding cost (same DC, one hop).
+constexpr double kInterReplicaMs = 0.3;
+}  // namespace
+
+// ---------------------------------------------------------------- RelayRoom
+
+bool RelayRoom::join(std::uint64_t userId, RelayServer& home) {
+  if (spec_.maxEventUsers > 0 && users_.count(userId) == 0 &&
+      static_cast<int>(users_.size()) >= spec_.maxEventUsers) {
+    return false;  // event full (§6.2: Worlds caps at 16)
+  }
+  UserState state;
+  state.home = &home;
+  state.lastActivity = sim_.now();
+  users_[userId] = std::move(state);
+  return true;
+}
+
+void RelayRoom::leave(std::uint64_t userId) { users_.erase(userId); }
+
+void RelayRoom::noteActivity(std::uint64_t userId) {
+  const auto it = users_.find(userId);
+  if (it != users_.end()) it->second.lastActivity = sim_.now();
+}
+
+void RelayRoom::startEvictionSweep(Duration timeout) {
+  evictionTimeout_ = timeout;
+  evictionTask_ = std::make_unique<PeriodicTask>(sim_, Duration::seconds(5), [this] {
+    for (auto it = users_.begin(); it != users_.end();) {
+      if (sim_.now() - it->second.lastActivity > evictionTimeout_) {
+        it = users_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
+}
+
+void RelayRoom::updatePose(std::uint64_t userId, const Pose& pose) {
+  const auto it = users_.find(userId);
+  if (it == users_.end()) return;
+  UserState& u = it->second;
+  u.prevPose = u.pose;
+  u.prevPoseAt = u.poseAt;
+  u.pose = pose;
+  u.poseAt = sim_.now();
+  u.poseKnown = true;
+}
+
+double RelayRoom::predictYawDeg(const UserState& user, double leadMs) {
+  if (leadMs <= 0.0 || user.prevPoseAt == TimePoint::epoch() ||
+      user.poseAt <= user.prevPoseAt) {
+    return user.pose.yawDeg;
+  }
+  const double dtMs = (user.poseAt - user.prevPoseAt).toMillis();
+  if (dtMs < 1.0 || dtMs > 1000.0) return user.pose.yawDeg;
+  const double rate = normalizeAngleDeg(user.pose.yawDeg - user.prevPose.yawDeg) / dtMs;
+  return normalizeAngleDeg(user.pose.yawDeg + rate * leadMs);
+}
+
+Duration RelayRoom::sampleProcessingDelay() {
+  const double scaledMean = spec_.serverProcMeanMs * spec_.provisioningFactor;
+  const double scaledStd = spec_.serverProcStdMs * spec_.provisioningFactor;
+  double ms = sim_.rng().normalAtLeast(scaledMean, scaledStd, 0.5);
+  // Queueing grows superlinearly with the event size (Fig. 11's growing
+  // per-user latency deltas).
+  const double n = static_cast<double>(users_.size());
+  if (n > 2.0) ms += spec_.queueCoefMs * std::pow(n - 2.0, 1.5);
+  return Duration::millis(ms);
+}
+
+void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
+  const auto fromIt = users_.find(fromUser);
+  if (fromIt == users_.end()) return;
+  const UserState& sender = fromIt->second;
+
+  for (auto& [userId, receiver] : users_) {
+    if (userId == fromUser) continue;
+
+    // AltspaceVR's server-side viewport filter (§6.1): forward avatar data
+    // only if the sender's avatar lies inside the receiver's ~150° wedge —
+    // evaluated against the receiver's *predicted* facing direction when a
+    // prediction lead is configured. Keepalives/misc pass through.
+    if (spec_.viewportFilter && m.kind == avatarmsg::kPoseUpdate &&
+        receiver.poseKnown && sender.poseKnown) {
+      Pose viewpoint = receiver.pose;
+      viewpoint.yawDeg = predictYawDeg(receiver, spec_.viewportPredictionLeadMs);
+      if (!inViewport(viewpoint, sender.pose.x, sender.pose.y,
+                      spec_.viewportWidthDeg)) {
+        filtered_ += m.size;
+        continue;
+      }
+    }
+
+    // Distance-based interest management (§6.2 ablation): updates from
+    // far-away senders are decimated rather than dropped entirely.
+    if (spec_.interestLod && m.kind == avatarmsg::kPoseUpdate &&
+        receiver.poseKnown && sender.poseKnown) {
+      const double dist = receiver.pose.distanceTo(sender.pose);
+      std::uint32_t keepEvery = 1;
+      if (dist > spec_.lodFarRadius) {
+        keepEvery = 4;
+      } else if (dist > spec_.lodNearRadius) {
+        keepEvery = 2;
+      }
+      if (keepEvery > 1) {
+        std::uint32_t& counter = receiver.lodCounters[fromUser];
+        if (++counter % keepEvery != 0) {
+          lodFiltered_ += m.size;
+          continue;
+        }
+      }
+    }
+
+    forwarded_ += m.size;
+    Duration delay = sampleProcessingDelay();
+    if (receiver.home != sender.home) delay += Duration::millis(kInterReplicaMs);
+
+    // Per-flow FIFO: never let a later message overtake an earlier one.
+    TimePoint outAt = sim_.now() + delay;
+    TimePoint& nextOut = flowNextOut_[{fromUser, userId}];
+    if (outAt < nextOut) outAt = nextOut;
+    nextOut = outAt + Duration::micros(1);
+
+    RelayServer* home = receiver.home;
+    const std::uint64_t target = userId;
+    const TimePoint inTime = sim_.now();
+    Message copy = m;
+    sim_.schedule(outAt, [this, home, target, copy = std::move(copy),
+                          inTime]() mutable {
+      if (copy.actionId != 0 && hooks_.onActionForwarded) {
+        hooks_.onActionForwarded(copy.actionId, target, inTime, sim_.now());
+      }
+      home->deliverToUser(target, copy);
+    });
+  }
+}
+
+// -------------------------------------------------------------- RelayServer
+
+RelayServer::RelayServer(Node& node, std::uint16_t port,
+                         std::shared_ptr<RelayRoom> room)
+    : node_{node}, port_{port}, room_{std::move(room)} {}
+
+RelayServer::~RelayServer() = default;
+
+std::unique_ptr<RelayServer> RelayServer::makeUdp(Node& node, std::uint16_t port,
+                                                  std::shared_ptr<RelayRoom> room) {
+  auto server = std::unique_ptr<RelayServer>(new RelayServer(node, port, std::move(room)));
+  server->udp_ = std::make_unique<UdpSocket>(node, port);
+  RelayServer* self = server.get();
+  server->udp_->onReceive([self](const Packet& p, const Endpoint& from) {
+    const Message* m = p.primaryMessage();
+    if (m == nullptr) return;  // bare fragment
+    self->handleMessage(m->senderId, *m, from, std::nullopt);
+  });
+  return server;
+}
+
+std::unique_ptr<RelayServer> RelayServer::makeTls(Node& node, std::uint16_t port,
+                                                  std::shared_ptr<RelayRoom> room) {
+  auto server = std::unique_ptr<RelayServer>(new RelayServer(node, port, std::move(room)));
+  server->tls_ = std::make_unique<TlsStreamServer>(node, port);
+  RelayServer* self = server.get();
+  server->tls_->onMessage([self](TlsStreamServer::ConnId id, const Message& m) {
+    self->handleMessage(m.senderId, m, std::nullopt, id);
+  });
+  server->tls_->onDisconnected([self](TlsStreamServer::ConnId id) {
+    for (auto it = self->tlsUsers_.begin(); it != self->tlsUsers_.end(); ++it) {
+      if (it->second == id) {
+        self->room_->leave(it->first);
+        self->tlsUsers_.erase(it);
+        return;
+      }
+    }
+  });
+  return server;
+}
+
+void RelayServer::handleMessage(std::uint64_t senderId, const Message& m,
+                                const std::optional<Endpoint>& udpFrom,
+                                std::optional<TlsStreamServer::ConnId> tlsConn) {
+  if (m.kind == relaymsg::kJoin) {
+    if (udpFrom) udpUsers_[senderId] = *udpFrom;
+    if (tlsConn) tlsUsers_[senderId] = *tlsConn;
+    Message reply;
+    reply.size = ByteSize::bytes(64);
+    reply.senderId = 0;
+    if (room_->join(senderId, *this)) {
+      reply.kind = relaymsg::kJoinOk;
+    } else {
+      // Event full (§6.2: e.g. Worlds caps at 16 users).
+      reply.kind = relaymsg::kJoinDenied;
+    }
+    deliverToUser(senderId, reply);
+    if (reply.kind == relaymsg::kJoinDenied) {
+      udpUsers_.erase(senderId);
+      if (tlsConn) tlsUsers_.erase(senderId);
+    }
+    return;
+  }
+  if (m.kind == relaymsg::kLeave) {
+    room_->leave(senderId);
+    udpUsers_.erase(senderId);
+    if (tlsConn) tlsUsers_.erase(senderId);
+    return;
+  }
+  if (udpFrom) udpUsers_[senderId] = *udpFrom;  // track NAT rebinding
+  room_->noteActivity(senderId);
+
+  if (m.kind == relaymsg::kKeepalive) {
+    // Answered so clients can detect data-channel liveness (§8.1).
+    Message ack;
+    ack.kind = relaymsg::kKeepalive;
+    ack.size = ByteSize::bytes(24);
+    ack.senderId = 0;  // from the server
+    deliverToUser(senderId, ack);
+    return;
+  }
+  if (m.kind == relaymsg::kClientStatus) {
+    // Worlds: consumed by the server, never forwarded (§5.1).
+    return;
+  }
+  if (m.kind == avatarmsg::kPoseUpdate && m.pose.has_value()) {
+    // The server's view of a user's pose is whatever the last *arrived*
+    // update said — stale under latency, which is exactly what makes
+    // viewport filtering a prediction problem (§6.1).
+    room_->updatePose(senderId, Pose{m.pose->x, m.pose->y, m.pose->yawDeg});
+  }
+  room_->broadcast(senderId, m);
+}
+
+void RelayServer::deliverToUser(std::uint64_t userId, const Message& m) {
+  if (udp_ != nullptr) {
+    const auto it = udpUsers_.find(userId);
+    if (it == udpUsers_.end()) return;
+    auto copy = std::make_shared<Message>(m);
+    udp_->sendTo(it->second, m.size, std::move(copy));
+    return;
+  }
+  if (tls_ != nullptr) {
+    const auto it = tlsUsers_.find(userId);
+    if (it == tlsUsers_.end()) return;
+    tls_->sendTo(it->second, m);
+  }
+}
+
+void RelayServer::startMiscDownlink() {
+  const Duration interval = Duration::millis(200);
+  miscTask_ = std::make_unique<PeriodicTask>(node_.sim(), interval,
+                                             [this] { sendMiscTick(); });
+}
+
+void RelayServer::sendMiscTick() {
+  const DataSpec& spec = room_->spec();
+  if (spec.miscDownlink.isZero()) return;
+  // Size each tick so the on-wire rate (including per-datagram overhead)
+  // matches the calibrated misc downlink rate.
+  const double intervalSec = 0.2;
+  const double wireBytesPerTick =
+      static_cast<double>(spec.miscDownlink.toBps()) / 8.0 * intervalSec;
+  const double overhead = udp_ != nullptr
+                              ? static_cast<double>(wire::kEthIpUdp)
+                              : static_cast<double>(wire::kEthIpTcp + wire::kTlsRecord);
+  const auto payload = static_cast<std::int64_t>(
+      wireBytesPerTick > overhead + 10 ? wireBytesPerTick - overhead : 10);
+  Message m;
+  m.kind = relaymsg::kMiscState;
+  m.size = ByteSize::bytes(payload);
+  m.senderId = 0;
+  for (const auto& [userId, ep] : udpUsers_) {
+    (void)ep;
+    deliverToUser(userId, m);
+  }
+  for (const auto& [userId, conn] : tlsUsers_) {
+    (void)conn;
+    deliverToUser(userId, m);
+  }
+}
+
+}  // namespace msim

@@ -1,0 +1,164 @@
+#pragma once
+
+// The data-channel relay tier.
+//
+// The paper's central architectural finding (§5.1, §6): platform servers
+// simply forward each user's avatar data to every other user in the event,
+// without aggregation — hence per-user downlink grows linearly with the
+// event size. AltspaceVR is the one exception: its server filters by the
+// receiver's ~150° viewport (§6.1). Worlds' servers additionally consume
+// (rather than forward) a large uplink status stream (§5.1).
+//
+// A RelayRoom spans one or more RelayServer replicas (load balancing gives
+// different users different server addresses, §4.2); replicas share room
+// state with a small intra-site forwarding delay.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "avatar/motion.hpp"
+#include "avatar/viewport.hpp"
+#include "platform/spec.hpp"
+#include "transport/tls.hpp"
+#include "transport/udp.hpp"
+
+namespace msim {
+
+/// Message kinds on the data channel (beyond avatar/codec kinds).
+namespace relaymsg {
+inline constexpr const char* kJoin = "relay:join";
+inline constexpr const char* kJoinOk = "relay:join-ok";
+inline constexpr const char* kJoinDenied = "relay:join-denied";
+inline constexpr const char* kLeave = "relay:leave";
+inline constexpr const char* kKeepalive = "relay:keepalive";
+inline constexpr const char* kMiscState = "relay:misc";
+inline constexpr const char* kClientStatus = "relay:client-status";
+inline constexpr const char* kGameState = "relay:game";
+}  // namespace relaymsg
+
+class RelayServer;
+
+/// Ground-truth hooks for the measurement harness (the paper reconstructed
+/// these instants from AP packet timestamps; we expose them directly so the
+/// two methods can be cross-validated).
+struct RelayProbeHooks {
+  std::function<void(std::uint64_t actionId, std::uint64_t toUser, TimePoint in,
+                     TimePoint out)>
+      onActionForwarded;
+};
+
+/// Shared state of one social event across relay replicas.
+class RelayRoom {
+ public:
+  explicit RelayRoom(Simulator& sim, DataSpec spec)
+      : sim_{sim}, spec_{std::move(spec)} {}
+
+  [[nodiscard]] const DataSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t userCount() const { return users_.size(); }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] RelayProbeHooks& hooks() { return hooks_; }
+
+  /// Total bytes the room refused to forward due to the viewport filter.
+  [[nodiscard]] ByteSize viewportFilteredBytes() const { return filtered_; }
+  /// Total bytes decimated by distance-based interest management.
+  [[nodiscard]] ByteSize lodFilteredBytes() const { return lodFiltered_; }
+  [[nodiscard]] ByteSize forwardedBytes() const { return forwarded_; }
+
+  // Internal API used by RelayServer.
+  /// False when the event is at its user cap (§6.2).
+  bool join(std::uint64_t userId, RelayServer& home);
+  void leave(std::uint64_t userId);
+  void updatePose(std::uint64_t userId, const Pose& pose);
+  void noteActivity(std::uint64_t userId);
+  /// Starts periodic eviction of users silent for `timeout` (a client whose
+  /// session broke stops being forwarded to — its peers' screens lose it).
+  void startEvictionSweep(Duration timeout = Duration::seconds(15));
+  /// Forwards `m` from `fromUser` to every other user, applying the
+  /// viewport filter, processing delay, and queueing growth.
+  void broadcast(std::uint64_t fromUser, const Message& m);
+
+ private:
+  struct UserState {
+    RelayServer* home{nullptr};
+    Pose pose;
+    bool poseKnown{false};
+    TimePoint lastActivity;
+    // For viewport prediction: previous report, to estimate angular rate.
+    Pose prevPose;
+    TimePoint poseAt;
+    TimePoint prevPoseAt;
+    // Per-sender decimation counters for interest LoD.
+    std::map<std::uint64_t, std::uint32_t> lodCounters;
+  };
+
+  /// The receiver's facing direction, extrapolated `leadMs` into the future
+  /// from its last two pose reports (the §6.1 prediction problem).
+  [[nodiscard]] static double predictYawDeg(const UserState& user, double leadMs);
+
+  [[nodiscard]] Duration sampleProcessingDelay();
+
+  Simulator& sim_;
+  DataSpec spec_;
+  RelayProbeHooks hooks_;
+  std::map<std::uint64_t, UserState> users_;
+  ByteSize filtered_;
+  ByteSize lodFiltered_;
+  ByteSize forwarded_;
+  // Per (sender, receiver) FIFO egress clocks: a real relay's per-flow
+  // queues never reorder one user's stream to another.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TimePoint> flowNextOut_;
+  std::unique_ptr<PeriodicTask> evictionTask_;
+  Duration evictionTimeout_ = Duration::seconds(15);
+};
+
+/// One relay replica bound to a node, speaking UDP or a TLS stream.
+class RelayServer {
+ public:
+  /// UDP relay (AltspaceVR, Rec Room, VRChat, Worlds).
+  static std::unique_ptr<RelayServer> makeUdp(Node& node, std::uint16_t port,
+                                              std::shared_ptr<RelayRoom> room);
+  /// HTTPS-stream relay (Hubs' central routing machine).
+  static std::unique_ptr<RelayServer> makeTls(Node& node, std::uint16_t port,
+                                              std::shared_ptr<RelayRoom> room);
+
+  ~RelayServer();
+
+  RelayServer(const RelayServer&) = delete;
+  RelayServer& operator=(const RelayServer&) = delete;
+
+  [[nodiscard]] Node& node() { return node_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] RelayRoom& room() { return *room_; }
+
+  /// Sends a message to a locally-homed user (called by the room).
+  void deliverToUser(std::uint64_t userId, const Message& m);
+
+  /// Starts the per-user misc/state downlink at the spec's rate.
+  void startMiscDownlink();
+
+ private:
+  RelayServer(Node& node, std::uint16_t port, std::shared_ptr<RelayRoom> room);
+
+  void handleMessage(std::uint64_t senderId, const Message& m,
+                     const std::optional<Endpoint>& udpFrom,
+                     std::optional<TlsStreamServer::ConnId> tlsConn);
+  void sendMiscTick();
+
+  Node& node_;
+  std::uint16_t port_;
+  std::shared_ptr<RelayRoom> room_;
+
+  // Exactly one of these is active.
+  std::unique_ptr<UdpSocket> udp_;
+  std::unique_ptr<TlsStreamServer> tls_;
+
+  // User bindings for delivery.
+  std::map<std::uint64_t, Endpoint> udpUsers_;
+  std::map<std::uint64_t, TlsStreamServer::ConnId> tlsUsers_;
+
+  std::unique_ptr<PeriodicTask> miscTask_;
+};
+
+}  // namespace msim

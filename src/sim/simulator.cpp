@@ -1,0 +1,74 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace msim {
+
+EventId Simulator::schedule(TimePoint t, Callback cb) {
+  if (t < now_) t = now_;
+  auto record = std::make_shared<EventId::Record>();
+  queue_.push_back(Entry{t, nextSeq_++, std::move(cb), record});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  return EventId{std::move(record)};
+}
+
+EventId Simulator::scheduleAfter(Duration delay, Callback cb) {
+  if (delay.isNegative()) delay = Duration::zero();
+  return schedule(now_ + delay, std::move(cb));
+}
+
+void Simulator::cancel(const EventId& id) {
+  if (auto rec = id.record_.lock()) rec->cancelled = true;
+}
+
+std::size_t Simulator::run(TimePoint limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.front().time > limit) break;
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Entry entry = std::move(queue_.back());
+    queue_.pop_back();
+    if (entry.record->cancelled) continue;
+    now_ = entry.time;
+    entry.cb();
+    ++executed;
+  }
+  if (limit != TimePoint::max() && now_ < limit) now_ = limit;
+  return executed;
+}
+
+bool Simulator::idle() const {
+  return std::all_of(queue_.begin(), queue_.end(),
+                     [](const Entry& e) { return e.record->cancelled; });
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period, Callback cb)
+    : PeriodicTask{sim, period, period, std::move(cb)} {}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period, Duration phase, Callback cb)
+    : sim_{sim}, period_{period}, cb_{std::move(cb)} {
+  arm(phase);
+}
+
+PeriodicTask::~PeriodicTask() {
+  *alive_ = false;
+  stop();
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+void PeriodicTask::arm(Duration delay) {
+  std::weak_ptr<bool> alive = alive_;
+  pending_ = sim_.scheduleAfter(delay, [this, alive] {
+    const auto guard = alive.lock();
+    if (!guard || !*guard || !running_) return;
+    cb_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace msim

@@ -1,0 +1,132 @@
+#pragma once
+
+// The discrete-event engine every other module runs on.
+//
+// Design notes:
+//  * Deterministic: events at equal timestamps fire in scheduling order
+//    (a monotonically increasing sequence number breaks ties).
+//  * Cancellable: schedule() returns an EventId; cancel() is O(1) via a
+//    tombstone flag (the heap entry is dropped lazily when popped).
+//  * Single-threaded by design (CP.1 notwithstanding): simulations are
+//    run-to-completion functions; parallelism, when needed, is across
+//    seeds/processes, never inside one simulation.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace msim {
+
+/// Opaque handle for a scheduled event, used only for cancellation.
+class EventId {
+ public:
+  EventId() = default;
+  [[nodiscard]] bool valid() const { return !record_.expired(); }
+
+ private:
+  friend class Simulator;
+  struct Record {
+    bool cancelled{false};
+  };
+  explicit EventId(std::shared_ptr<Record> r) : record_{std::move(r)} {}
+  std::weak_ptr<Record> record_;
+};
+
+/// The simulation kernel: a clock plus an ordered event queue.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotone during run().
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
+  EventId schedule(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `delay` from now (negative treated as zero).
+  EventId scheduleAfter(Duration delay, Callback cb);
+
+  /// Marks an event as cancelled; a fired or already-cancelled id is a no-op.
+  void cancel(const EventId& id);
+
+  /// Runs until the queue drains or `limit` is reached (clock then advances
+  /// to `limit` if given). Returns the number of events executed.
+  std::size_t run(TimePoint limit = TimePoint::max());
+
+  /// Runs for `d` simulated time from the current clock.
+  std::size_t runFor(Duration d) { return run(now_ + d); }
+
+  /// True if no pending (non-cancelled) events remain.
+  [[nodiscard]] bool idle() const;
+
+  /// Number of pending entries, including tombstones (diagnostic only).
+  [[nodiscard]] std::size_t queuedEvents() const { return queue_.size(); }
+
+  /// The simulation-wide random source.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventId::Record> record;
+  };
+  // Min-heap on (time, seq) kept in an owned vector so entries can be moved
+  // out on pop (std::priority_queue only exposes a const top()).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_{TimePoint::epoch()};
+  std::uint64_t nextSeq_{0};
+  std::vector<Entry> queue_;
+  Rng rng_;
+};
+
+/// Repeats a callback at a fixed period until stopped or destroyed.
+///
+/// Used for avatar update loops, metric samplers, periodic report spikes,
+/// vsync ticks. The first tick fires after `phase` (defaults to one period).
+class PeriodicTask {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTask(Simulator& sim, Duration period, Callback cb);
+  PeriodicTask(Simulator& sim, Duration period, Duration phase, Callback cb);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  /// Changes the period; takes effect from the next rescheduling.
+  void setPeriod(Duration period) { period_ = period; }
+  [[nodiscard]] Duration period() const { return period_; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulator& sim_;
+  Duration period_;
+  Callback cb_;
+  bool running_{true};
+  EventId pending_;
+  // Guards the callback against firing after destruction.
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+};
+
+}  // namespace msim

@@ -1,0 +1,177 @@
+// Tests for avatar specs, motion, viewport geometry, and the update codec.
+
+#include <gtest/gtest.h>
+
+#include "avatar/codec.hpp"
+#include "avatar/motion.hpp"
+#include "avatar/spec.hpp"
+#include "avatar/viewport.hpp"
+#include "util/stats.hpp"
+
+namespace msim {
+namespace {
+
+// --------------------------------------------------------------------- spec
+
+TEST(AvatarSpecTest, MeanUpdateRateFromParts) {
+  AvatarSpec spec;
+  spec.updateRateHz = 10.0;
+  spec.bytesPerUpdate = ByteSize::bytes(125);  // 10 Kbps
+  EXPECT_NEAR(spec.meanUpdateRate().toKbps(), 10.0, 1e-9);
+  spec.expressionEventRateHz = 2.0;
+  spec.bytesPerExpressionEvent = ByteSize::bytes(625);  // +10 Kbps
+  EXPECT_NEAR(spec.meanUpdateRate().toKbps(), 20.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- angles
+
+TEST(MotionTest, NormalizeAngle) {
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(720.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(180.0), 180.0);
+}
+
+TEST(MotionTest, Bearing) {
+  const Pose origin{};
+  EXPECT_DOUBLE_EQ(bearingDeg(origin, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bearingDeg(origin, 0.0, 1.0), 90.0);
+  EXPECT_DOUBLE_EQ(bearingDeg(origin, -1.0, 0.0), 180.0);
+  EXPECT_DOUBLE_EQ(bearingDeg(origin, 0.0, -1.0), -90.0);
+}
+
+// ------------------------------------------------------------------- motion
+
+TEST(MotionTest, SnapTurnsUseQuantizedSteps) {
+  MotionModel m;
+  m.turnSteps(1);
+  EXPECT_DOUBLE_EQ(m.pose().yawDeg, 22.5);
+  m.turnSteps(3);
+  EXPECT_DOUBLE_EQ(m.pose().yawDeg, 90.0);
+  m.turnSteps(-8);  // 180° back
+  EXPECT_DOUBLE_EQ(m.pose().yawDeg, -90.0);
+  // 16 steps = full turn.
+  MotionModel full;
+  full.turnSteps(16);
+  EXPECT_DOUBLE_EQ(full.pose().yawDeg, 0.0);
+}
+
+TEST(MotionTest, WalkReachesTarget) {
+  MotionModel m;
+  m.walkTo(3.0, 4.0, 1.0);  // 5 m at 1 m/s
+  for (int i = 0; i < 60; ++i) m.advance(Duration::millis(100));
+  EXPECT_FALSE(m.walking());
+  EXPECT_DOUBLE_EQ(m.pose().x, 3.0);
+  EXPECT_DOUBLE_EQ(m.pose().y, 4.0);
+}
+
+TEST(MotionTest, WalkFacesDirectionOfTravel) {
+  MotionModel m;
+  m.walkTo(0.0, 10.0, 1.4);
+  m.advance(Duration::millis(100));
+  EXPECT_NEAR(m.pose().yawDeg, 90.0, 1e-9);
+}
+
+TEST(MotionTest, WalkSpeedIsRespected) {
+  MotionModel m;
+  m.walkTo(10.0, 0.0, 2.0);
+  m.advance(Duration::seconds(1));
+  EXPECT_NEAR(m.pose().x, 2.0, 1e-9);
+  EXPECT_TRUE(m.walking());
+}
+
+TEST(MotionTest, TeleportIsInstant) {
+  MotionModel m;
+  m.teleportTo(-7.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.pose().x, -7.0);
+  EXPECT_DOUBLE_EQ(m.pose().y, 2.0);
+}
+
+TEST(MotionTest, WanderStaysInRoom) {
+  Rng rng{11};
+  MotionModel m;
+  for (int round = 0; round < 20; ++round) {
+    m.wander(rng, 5.0);
+    for (int i = 0; i < 200 && m.walking(); ++i) m.advance(Duration::millis(100));
+    EXPECT_LE(std::abs(m.pose().x), 5.0);
+    EXPECT_LE(std::abs(m.pose().y), 5.0);
+  }
+}
+
+// ----------------------------------------------------------------- viewport
+
+TEST(ViewportTest, AngleToTargets) {
+  Pose observer{0, 0, 0};  // facing +x
+  EXPECT_DOUBLE_EQ(viewAngleDeg(observer, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(viewAngleDeg(observer, 0, 5), 90.0);
+  EXPECT_DOUBLE_EQ(viewAngleDeg(observer, -5, 0), 180.0);
+  observer.yawDeg = 90.0;
+  EXPECT_DOUBLE_EQ(viewAngleDeg(observer, 0, 5), 0.0);
+}
+
+TEST(ViewportTest, WedgeMembership) {
+  const Pose observer{0, 0, 0};
+  // 150° wedge: anything within +/-75°.
+  EXPECT_TRUE(inViewport(observer, 10, 0, kAltspaceViewportWidthDeg));
+  EXPECT_TRUE(inViewport(observer, 1, 3.7, kAltspaceViewportWidthDeg));    // ~74.9°
+  EXPECT_FALSE(inViewport(observer, 1, 3.8, kAltspaceViewportWidthDeg));   // ~75.3°
+  EXPECT_FALSE(inViewport(observer, -10, 0, kAltspaceViewportWidthDeg));
+}
+
+TEST(ViewportTest, TurningAwayRemovesFromViewport) {
+  Pose observer{0, 0, 0};
+  MotionModel m{observer};
+  EXPECT_TRUE(inViewport(m.pose(), 10, 0, kAltspaceViewportWidthDeg));
+  m.turnSteps(8);  // 180°
+  EXPECT_FALSE(inViewport(m.pose(), 10, 0, kAltspaceViewportWidthDeg));
+}
+
+TEST(ViewportTest, SavingBound) {
+  EXPECT_NEAR(maxViewportSaving(kAltspaceViewportWidthDeg), 0.583, 0.001);
+  EXPECT_DOUBLE_EQ(maxViewportSaving(360.0), 0.0);
+}
+
+// -------------------------------------------------------------------- codec
+
+TEST(CodecTest, PoseUpdateCarriesIdentityAndSequence) {
+  AvatarSpec spec;
+  spec.bytesPerUpdate = ByteSize::bytes(200);
+  AvatarUpdateCodec codec{spec, 42};
+  Rng rng{1};
+  const auto m1 = codec.encodePose(Pose{}, TimePoint::epoch(), rng);
+  const auto m2 = codec.encodePose(Pose{}, TimePoint::epoch(), rng, 99);
+  EXPECT_EQ(m1->kind, avatarmsg::kPoseUpdate);
+  EXPECT_EQ(m1->senderId, 42u);
+  EXPECT_EQ(m1->sequence + 1, m2->sequence);
+  EXPECT_EQ(m1->actionId, 0u);
+  EXPECT_EQ(m2->actionId, 99u);
+}
+
+TEST(CodecTest, PoseSizesJitterAroundSpec) {
+  AvatarSpec spec;
+  spec.bytesPerUpdate = ByteSize::bytes(1000);
+  AvatarUpdateCodec codec{spec, 1};
+  Rng rng{7};
+  RunningStats sizes;
+  for (int i = 0; i < 2000; ++i) {
+    sizes.add(static_cast<double>(
+        codec.encodePose(Pose{}, TimePoint::epoch(), rng)->size.toBytes()));
+  }
+  EXPECT_NEAR(sizes.mean(), 1000.0, 20.0);
+  EXPECT_GT(sizes.stddev(), 40.0);  // delta coding varies sizes
+  EXPECT_GE(sizes.min(), 500.0);    // floor keeps sizes sane
+}
+
+TEST(CodecTest, VoiceFrameMatchesSpec) {
+  AvatarUpdateCodec codec{AvatarSpec{}, 3};
+  const VoiceSpec voice;
+  const auto m = codec.encodeVoice(voice, TimePoint::epoch());
+  EXPECT_EQ(m->kind, avatarmsg::kVoiceFrame);
+  EXPECT_EQ(m->size.toBytes(), 80);
+  // 50 fps x 80 B = 32 Kbps nominal voice rate.
+  EXPECT_NEAR(voice.frameRateHz * voice.bytesPerFrame.toBits() / 1000.0, 32.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msim

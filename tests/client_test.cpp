@@ -1,0 +1,222 @@
+// Tests for the client device model: render pipeline, stale frames,
+// metrics sampling, screen recording, clock sync.
+
+#include <gtest/gtest.h>
+
+#include "client/headset.hpp"
+
+namespace msim {
+namespace {
+
+class ClientFixture : public ::testing::Test {
+ protected:
+  Simulator sim{5};
+  Network net{sim};
+  Node* node{&net.addNode("headset")};
+};
+
+// ----------------------------------------------------------- render pipeline
+
+TEST_F(ClientFixture, LightWorkloadHitsFullRefreshRate) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setWorkload([] { return FrameWorkload{5.0, 6.0, 1}; });
+  pipeline.start();
+  sim.runFor(Duration::seconds(10));
+  const double fps = static_cast<double>(pipeline.newFrames()) / 10.0;
+  EXPECT_NEAR(fps, 72.0, 1.5);
+  EXPECT_EQ(pipeline.staleFrames(), 0u);
+}
+
+TEST_F(ClientFixture, HeavyWorkloadHalvesFrameRate) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.0);
+  // 20 ms CPU > 13.9 ms budget: every frame takes 2 vsync slots.
+  pipeline.setWorkload([] { return FrameWorkload{20.0, 6.0, 10}; });
+  pipeline.start();
+  sim.runFor(Duration::seconds(10));
+  const double fps = static_cast<double>(pipeline.newFrames()) / 10.0;
+  EXPECT_NEAR(fps, 36.0, 1.5);
+  EXPECT_NEAR(static_cast<double>(pipeline.staleFrames()) / 10.0, 36.0, 1.5);
+}
+
+TEST_F(ClientFixture, BorderlineWorkloadGivesIntermediateFps) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.10);
+  // Right at the budget: jitter mixes 1-slot and 2-slot frames.
+  pipeline.setWorkload([] { return FrameWorkload{13.9, 6.0, 5}; });
+  pipeline.start();
+  sim.runFor(Duration::seconds(20));
+  const double fps = static_cast<double>(pipeline.newFrames()) / 20.0;
+  EXPECT_GT(fps, 38.0);
+  EXPECT_LT(fps, 70.0);
+}
+
+TEST_F(ClientFixture, GpuCanBeTheBottleneck) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.0);
+  pipeline.setWorkload([] { return FrameWorkload{4.0, 30.0, 3}; });
+  pipeline.start();
+  sim.runFor(Duration::seconds(5));
+  // 30 ms GPU -> 3 slots -> 24 fps.
+  EXPECT_NEAR(static_cast<double>(pipeline.newFrames()) / 5.0, 24.0, 1.5);
+}
+
+TEST_F(ClientFixture, StopHaltsFrameProduction) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setWorkload([] { return FrameWorkload{}; });
+  pipeline.start();
+  sim.runFor(Duration::seconds(1));
+  pipeline.stop();
+  const auto frames = pipeline.newFrames();
+  sim.runFor(Duration::seconds(1));
+  EXPECT_EQ(pipeline.newFrames(), frames);
+}
+
+TEST_F(ClientFixture, TetheredDeviceHandlesHeavierScenes) {
+  RenderPipeline quest{sim, devices::quest2()};
+  RenderPipeline vive{sim, devices::viveCosmosPc()};
+  quest.setCostJitter(0.0);
+  vive.setCostJitter(0.0);
+  const auto scene = [] { return FrameWorkload{22.0, 25.0, 8}; };
+  quest.setWorkload(scene);
+  vive.setWorkload(scene);
+  quest.start();
+  vive.start();
+  sim.runFor(Duration::seconds(5));
+  const double questFps = static_cast<double>(quest.newFrames()) / 5.0;
+  const double viveFps = static_cast<double>(vive.newFrames()) / 5.0;
+  EXPECT_LT(questFps, 40.0);
+  EXPECT_GT(viveFps, 85.0);  // 90 Hz with PC-class budgets
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST_F(ClientFixture, MetricsTrackUtilizationAndFps) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.0);
+  pipeline.setWorkload([] { return FrameWorkload{7.0, 10.4, 2}; });
+  OvrMetricsSampler metrics{sim, pipeline};
+  pipeline.start();
+  metrics.start();
+  sim.runFor(Duration::seconds(10));
+  ASSERT_GE(metrics.samples().size(), 9u);
+  const auto avg = metrics.averageOver(TimePoint::epoch(), sim.now());
+  EXPECT_NEAR(avg.fps, 72.0, 2.0);
+  EXPECT_NEAR(avg.cpuUtilPct, 100.0 * 7.0 / 13.9, 3.0);
+  EXPECT_NEAR(avg.gpuUtilPct, 100.0 * 10.4 / 13.9, 3.0);
+}
+
+TEST_F(ClientFixture, BackgroundCpuCountsTowardUtilization) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.0);
+  pipeline.setWorkload([] { return FrameWorkload{5.0, 5.0, 0}; });
+  OvrMetricsSampler metrics{sim, pipeline};
+  pipeline.start();
+  metrics.start();
+  PeriodicTask feeder{sim, Duration::millis(100),
+                      [&] { metrics.addBackgroundCpuMs(30.0); }};  // +300 ms/s
+  sim.runFor(Duration::seconds(5));
+  const auto avg = metrics.averageOver(TimePoint::epoch(), sim.now());
+  EXPECT_NEAR(avg.cpuUtilPct, 100.0 * (5.0 * 72 + 300.0) / 1000.0, 4.0);
+}
+
+TEST_F(ClientFixture, MemoryProviderIsSampled) {
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setWorkload([] { return FrameWorkload{}; });
+  OvrMetricsSampler metrics{sim, pipeline};
+  double mem = 1.0;
+  metrics.setMemoryProvider([&] { return mem; });
+  pipeline.start();
+  metrics.start();
+  sim.runFor(Duration::seconds(2));
+  mem = 2.0;
+  sim.runFor(Duration::seconds(2));
+  EXPECT_NEAR(metrics.samples().front().memoryGB, 1.0, 1e-9);
+  EXPECT_NEAR(metrics.samples().back().memoryGB, 2.0, 1e-9);
+}
+
+TEST_F(ClientFixture, BatteryDrainsUnderTenPercentPerTenMinutes) {
+  // §6.2: all platforms consume <10% of a charged Quest 2 in 10 minutes.
+  RenderPipeline pipeline{sim, devices::quest2()};
+  pipeline.setCostJitter(0.0);
+  pipeline.setWorkload([] { return FrameWorkload{12.0, 13.0, 15}; });  // heavy
+  OvrMetricsSampler metrics{sim, pipeline};
+  pipeline.start();
+  metrics.start();
+  sim.runFor(Duration::minutes(10));
+  EXPECT_LT(100.0 - metrics.batteryPct(), 10.0);
+  EXPECT_GT(100.0 - metrics.batteryPct(), 1.0);  // but not free either
+}
+
+TEST_F(ClientFixture, TetheredDeviceHasNoBatteryDrain) {
+  RenderPipeline pipeline{sim, devices::viveCosmosPc()};
+  pipeline.setWorkload([] { return FrameWorkload{10, 10, 5}; });
+  OvrMetricsSampler metrics{sim, pipeline};
+  pipeline.start();
+  metrics.start();
+  sim.runFor(Duration::minutes(5));
+  EXPECT_DOUBLE_EQ(metrics.batteryPct(), 100.0);
+}
+
+// ---------------------------------------------------- recording & clock sync
+
+TEST_F(ClientFixture, ActionAppearsOnNextStartedFrame) {
+  HeadsetDevice device{sim, *node, devices::quest2()};
+  device.pipeline().setCostJitter(0.0);
+  device.pipeline().setWorkload([] { return FrameWorkload{5, 5, 1}; });
+  device.pipeline().start();
+  sim.runFor(Duration::millis(100));
+  device.markActionVisible(1234);
+  const TimePoint marked = sim.now();
+  sim.runFor(Duration::millis(100));
+  const auto shown = device.firstDisplayLocal(1234);
+  ASSERT_TRUE(shown.has_value());
+  // Displayed within two vsync intervals of being marked.
+  EXPECT_LE((*shown - marked).toMillis(), 2.5 * 13.9);
+  EXPECT_GT((*shown - marked).toMillis(), 0.0);
+}
+
+TEST_F(ClientFixture, FirstDisplayIsStable) {
+  HeadsetDevice device{sim, *node, devices::quest2()};
+  device.pipeline().setWorkload([] { return FrameWorkload{}; });
+  device.pipeline().start();
+  device.markActionVisible(7);
+  sim.runFor(Duration::seconds(1));
+  const auto first = device.firstDisplayLocal(7);
+  device.markActionVisible(7);  // re-marking must not move the first display
+  sim.runFor(Duration::seconds(1));
+  EXPECT_EQ(device.firstDisplayLocal(7), first);
+}
+
+TEST_F(ClientFixture, LocalClockOffsetsApply) {
+  HeadsetDevice device{sim, *node, devices::quest2(), Duration::millis(250)};
+  sim.runFor(Duration::seconds(1));
+  EXPECT_NEAR((device.localNow() - sim.now()).toMillis(), 250.0, 1e-9);
+}
+
+TEST_F(ClientFixture, LastDisplayBeforeFindsSenderReference) {
+  HeadsetDevice device{sim, *node, devices::quest2()};
+  device.pipeline().setCostJitter(0.0);
+  device.pipeline().setWorkload([] { return FrameWorkload{5, 5, 0}; });
+  device.pipeline().start();
+  sim.runFor(Duration::seconds(1));
+  const auto ref = device.lastDisplayAtOrBeforeLocal(device.localNow());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_LE(*ref, device.localNow());
+  EXPECT_GT((*ref - TimePoint::epoch()).toMillis(), 900.0);
+}
+
+TEST_F(ClientFixture, AdbClockSyncRecoversOffsetWithinMillisecond) {
+  HeadsetDevice device{sim, *node, devices::quest2(), Duration::millis(-173.0)};
+  Rng rng{21};
+  RunningStats err;
+  for (int i = 0; i < 200; ++i) {
+    const Duration est = AdbClockSync::estimateOffset(device, rng);
+    err.add((est - device.trueClockOffset()).toMillis());
+  }
+  EXPECT_NEAR(err.mean(), 0.0, 0.1);
+  EXPECT_LT(err.stddev(), 1.0);  // "millisecond level" (§7)
+}
+
+}  // namespace
+}  // namespace msim

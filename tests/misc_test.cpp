@@ -1,0 +1,156 @@
+// Cross-cutting properties: determinism, capture configuration, connection
+// reuse, fabric aliasing — the guarantees the experiment harness rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace msim {
+namespace {
+
+// The whole study depends on this: identical seeds -> identical runs.
+TEST(DeterminismTest, SameSeedSameBytes) {
+  auto run = [](std::uint64_t seed) {
+    Testbed bed{seed};
+    bed.deploy(platforms::worlds());
+    TestUserConfig cfg;
+    cfg.wander = true;  // exercises the RNG-heavy paths too
+    TestUser& u1 = bed.addUser(cfg);
+    TestUser& u2 = bed.addUser(cfg);
+    bed.sim().schedule(TimePoint::epoch(), [&] {
+      u1.client->launch();
+      u2.client->launch();
+      u1.client->joinEvent();
+      u2.client->joinEvent();
+    });
+    bed.sim().runFor(Duration::seconds(30));
+    return std::make_pair(u1.capture->series(Channel::DataUp).total(),
+                          u1.capture->series(Channel::DataDown).total());
+  };
+  const auto a = run(4242);
+  const auto b = run(4242);
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+  const auto c = run(4243);
+  EXPECT_NE(a.first, c.first);  // different seed, different stochastic path
+}
+
+TEST(DeterminismTest, ExperimentRowsAreReproducible) {
+  const TwoUserThroughputRow r1 = runTwoUserThroughput(platforms::vrchat(), 2);
+  const TwoUserThroughputRow r2 = runTwoUserThroughput(platforms::vrchat(), 2);
+  EXPECT_DOUBLE_EQ(r1.upKbps, r2.upKbps);
+  EXPECT_DOUBLE_EQ(r1.downKbps, r2.downKbps);
+  EXPECT_DOUBLE_EQ(r1.avatarKbps, r2.avatarKbps);
+}
+
+TEST(CaptureTest, RecordStorageCanBeDisabled) {
+  Testbed bed{7};
+  bed.deploy(platforms::vrchat());
+  TestUser& u1 = bed.addUser();
+  TestUser& u2 = bed.addUser();
+  u1.capture->setStoreRecords(false);
+  bed.sim().schedule(TimePoint::epoch(), [&] {
+    u1.client->launch();
+    u2.client->launch();
+    u1.client->joinEvent();
+    u2.client->joinEvent();
+  });
+  bed.sim().runFor(Duration::seconds(10));
+  EXPECT_TRUE(u1.capture->records().empty());         // no per-packet records
+  EXPECT_GT(u1.capture->packetCount(), 0u);           // but counting continues
+  EXPECT_GT(u1.capture->series(Channel::DataUp).total(), 0.0);  // and binning
+}
+
+TEST(HttpReuseTest, SecondRequestSkipsHandshakes) {
+  Simulator sim{7};
+  Network net{sim};
+  Node& a = net.addNode("a");
+  Node& b = net.addNode("b");
+  a.addAddress(Ipv4Address(10, 0, 0, 1));
+  b.addAddress(Ipv4Address(10, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.delay = Duration::millis(20);
+  auto [da, db] = Link::connect(a, b, cfg);
+  a.setDefaultRoute(da);
+  b.setDefaultRoute(db);
+  HttpServer server{b, 443};
+  server.route("/", [](const HttpRequest&) { return HttpResponse{}; });
+  HttpClient client{a};
+  Duration first;
+  Duration second;
+  client.request(Endpoint{b.primaryAddress(), 443}, HttpRequest{"/a"},
+                 [&](const HttpResponse&, Duration d) { first = d; });
+  sim.run();
+  client.request(Endpoint{b.primaryAddress(), 443}, HttpRequest{"/b"},
+                 [&](const HttpResponse&, Duration d) { second = d; });
+  sim.run();
+  // First: TCP + TLS handshakes + request = 3 RTT (120 ms). Second: 1 RTT.
+  EXPECT_GT(first.toMillis(), 100.0);
+  EXPECT_LT(second.toMillis(), 60.0);
+}
+
+TEST(FabricTest, HostAliasRoutesThroughTheHost) {
+  Simulator sim{7};
+  Network net{sim};
+  InternetFabric fabric{net};
+  Node& gateway = fabric.attachHost("gw", regions::usEast(), Ipv4Address(10, 1, 0, 1));
+  Node& remote = fabric.attachHost("remote", regions::usWest(), Ipv4Address(10, 2, 0, 1));
+  // A device behind the gateway.
+  Node& inner = net.addNode("inner");
+  const Ipv4Address innerAddr{10, 1, 0, 2};
+  inner.addAddress(innerAddr);
+  auto [devInner, devGw] = Link::connect(inner, gateway, LinkConfig{});
+  inner.setDefaultRoute(devInner);
+  gateway.addHostRoute(innerAddr, devGw);
+  fabric.addHostAlias(gateway, innerAddr);
+
+  int delivered = 0;
+  inner.setLocalHandler([&](const Packet&) { ++delivered; });
+  Packet p;
+  p.src = remote.primaryAddress();
+  p.dst = innerAddr;
+  p.proto = IpProto::Udp;
+  p.payloadBytes = ByteSize::bytes(10);
+  remote.sendFromLocal(std::move(p));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(FabricTest, RegionOfTracksAttachments) {
+  Simulator sim{7};
+  Network net{sim};
+  InternetFabric fabric{net};
+  Node& host = fabric.attachHost("h", regions::europe(), Ipv4Address(10, 9, 0, 1));
+  ASSERT_NE(fabric.regionOf(&host), nullptr);
+  EXPECT_EQ(fabric.regionOf(&host)->name, "europe");
+  Node& stranger = net.addNode("stranger");
+  EXPECT_EQ(fabric.regionOf(&stranger), nullptr);
+}
+
+TEST(MetricsTest, AverageOverEmptyWindowIsZeroes) {
+  Simulator sim{1};
+  RenderPipeline pipeline{sim, devices::quest2()};
+  OvrMetricsSampler metrics{sim, pipeline};
+  const MetricsSample avg =
+      metrics.averageOver(TimePoint::epoch(), TimePoint::epoch() + Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(avg.fps, 0.0);
+  EXPECT_DOUBLE_EQ(avg.cpuUtilPct, 0.0);
+}
+
+TEST(SimulatorTest, HeavySchedulingRemainsOrdered) {
+  // Stress: thousands of interleaved timers preserve time order.
+  Simulator sim{99};
+  TimePoint last = TimePoint::epoch();
+  bool ordered = true;
+  for (int i = 0; i < 20'000; ++i) {
+    sim.scheduleAfter(Duration::micros(sim.rng().uniform(0, 1e6)), [&, i] {
+      if (sim.now() < last) ordered = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,150 @@
+// Direct tests of the paper's cross-cutting claims — each test names the
+// section it validates.
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace msim {
+namespace {
+
+// §5.1 footnote 2: "We do not observe significant throughput differences
+// when using other devices such as HTC VIVE headsets and PCs".
+TEST(PaperClaims, ThroughputIndependentOfDeviceType) {
+  auto measure = [](const DeviceSpec& device) {
+    Testbed bed{53};
+    bed.deploy(platforms::vrchat());
+    TestUserConfig cfg;
+    cfg.wander = false;
+    cfg.device = device;
+    TestUser& u1 = bed.addUser(cfg);
+    TestUser& u2 = bed.addUser(cfg);
+    u1.client->motion().setPose(Pose{0, 0, 0});
+    u2.client->motion().setPose(Pose{2, 0, 180});
+    bed.sim().schedule(TimePoint::epoch(), [&] {
+      u1.client->launch();
+      u2.client->launch();
+      u1.client->joinEvent();
+      u2.client->joinEvent();
+    });
+    bed.sim().runFor(Duration::seconds(40));
+    return u1.capture->meanRate(Channel::DataUp, 10, 39).toKbps();
+  };
+  const double quest = measure(devices::quest2());
+  const double vive = measure(devices::viveCosmosPc());
+  const double pc = measure(devices::desktopPc());
+  EXPECT_NEAR(vive, quest, 0.05 * quest);
+  EXPECT_NEAR(pc, quest, 0.05 * quest);
+}
+
+// §5.1: "a social VR platform's throughput is independent of its content
+// resolution" — the data channel carries avatar state, not pixels.
+TEST(PaperClaims, ThroughputIndependentOfResolution) {
+  auto measure = [](int w, int h) {
+    PlatformSpec spec = platforms::recRoom();
+    spec.perf.renderWidth = w;
+    spec.perf.renderHeight = h;
+    const TwoUserThroughputRow row = runTwoUserThroughput(spec, 2);
+    return row.downKbps;
+  };
+  const double low = measure(1224, 1346);
+  const double high = measure(2016, 2224);
+  EXPECT_NEAR(high, low, 0.03 * low);
+}
+
+// §5.1: "the throughput of these platforms does not rely on the location of
+// the displayed avatars … and their distance to the user" (no LoD in any
+// shipping platform).
+TEST(PaperClaims, ThroughputIndependentOfAvatarDistance) {
+  auto measure = [](double distance) {
+    Testbed bed{57};
+    bed.deploy(platforms::worlds());
+    TestUserConfig cfg;
+    cfg.wander = false;
+    TestUser& u1 = bed.addUser(cfg);
+    TestUser& u2 = bed.addUser(cfg);
+    u1.client->motion().setPose(Pose{0, 0, 0});
+    u2.client->motion().setPose(Pose{distance, 0, 180});
+    bed.sim().schedule(TimePoint::epoch(), [&] {
+      u1.client->launch();
+      u2.client->launch();
+      u1.client->joinEvent();
+      u2.client->joinEvent();
+    });
+    bed.sim().runFor(Duration::seconds(30));
+    return u1.capture->meanRate(Channel::DataDown, 10, 29).toKbps();
+  };
+  const double near = measure(1.0);
+  const double far = measure(9.0);
+  EXPECT_NEAR(far, near, 0.03 * near);
+}
+
+// §6.1: the uplink throughput of each user is unaffected by more avatars.
+TEST(PaperClaims, UplinkIndependentOfUserCount) {
+  const SweepPoint p2 = runUsersSweepPoint(platforms::vrchat(), 2, 1,
+                                           Duration::seconds(15));
+  const SweepPoint p10 = runUsersSweepPoint(platforms::vrchat(), 10, 1,
+                                            Duration::seconds(15));
+  EXPECT_NEAR(p10.upMbps, p2.upMbps, 0.10 * p2.upMbps);
+}
+
+// §4.1: no platform delivers remote-rendered video during social
+// interaction — data-channel throughput is orders of magnitude below video.
+TEST(PaperClaims, NoVideoStreamOnTheDataChannel) {
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    const TwoUserThroughputRow row = runTwoUserThroughput(spec, 1);
+    EXPECT_LT(row.downKbps, 1'000.0) << spec.name;  // video would be >10 Mbps
+  }
+}
+
+// §6.2: each remote avatar costs ~10 MB of memory.
+TEST(PaperClaims, AvatarMemoryFootprint) {
+  const SweepPoint p1 = runUsersSweepPoint(platforms::worlds(), 1, 1,
+                                           Duration::seconds(10));
+  const SweepPoint p15 = runUsersSweepPoint(platforms::worlds(), 15, 1,
+                                            Duration::seconds(10));
+  const double perAvatarMB = (p15.memGB - p1.memGB) * 1000.0 / 14.0;
+  EXPECT_NEAR(perAvatarMB, 10.0, 2.0);
+}
+
+// §7: both headsets' clocks can be synchronized at the millisecond level —
+// otherwise the E2E method would not work.
+TEST(PaperClaims, ClockSyncErrorStaysMilliseconds) {
+  Testbed bed{59};
+  bed.deploy(platforms::vrchat());
+  TestUser& u1 = bed.addUser();
+  RunningStats err;
+  for (int i = 0; i < 100; ++i) {
+    const Duration est = AdbClockSync::estimateOffset(*u1.headset, bed.sim().rng());
+    err.add(std::abs((est - u1.headset->trueClockOffset()).toMillis()));
+  }
+  EXPECT_LT(err.mean(), 1.0);
+}
+
+// Implications 1 / §4.2: control and data channels may live on servers from
+// different owners (Rec Room, VRChat) — never the same address.
+TEST(PaperClaims, ControlAndDataAreSeparateServers) {
+  for (const PlatformSpec& spec : platforms::allFive()) {
+    Testbed bed{61};
+    bed.deploy(spec);
+    const Endpoint ctl = bed.deployment().controlEndpointFor(regions::usEast());
+    const Endpoint data = bed.deployment().dataEndpointFor(regions::usEast(), 0);
+    EXPECT_NE(ctl.addr, data.addr) << spec.name;
+  }
+}
+
+// §6.3 evidence list: receiver-side processing exceeds sender-side on every
+// platform — pointing at local rendering.
+class ReceiverDominates : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReceiverDominates, ReceiverLatencyAboveSender) {
+  const PlatformSpec spec =
+      platforms::allFive()[static_cast<std::size_t>(GetParam())];
+  const LatencyRow row = runLatencyExperiment(spec, 2, 12, 2);
+  EXPECT_GT(row.receiverMs, row.senderMs + 5.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, ReceiverDominates, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace msim

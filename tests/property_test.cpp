@@ -1,0 +1,174 @@
+// Parameterized property sweeps over the substrates: geography metrics,
+// netem rate conformance, TCP window scaling, and per-platform calibration
+// identities.
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "geo/geo.hpp"
+
+namespace msim {
+namespace {
+
+// ----------------------------------------------------- geography properties
+
+class RegionPairs
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RegionPairs, DistanceAndDelayAreMetricLike) {
+  const auto& regions = regions::all();
+  const Region& a = regions[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const Region& b = regions[static_cast<std::size_t>(std::get<1>(GetParam()))];
+
+  // Symmetry.
+  EXPECT_NEAR(greatCircleKm(a.location, b.location),
+              greatCircleKm(b.location, a.location), 1e-6);
+  EXPECT_EQ(propagationDelay(a.location, b.location),
+            propagationDelay(b.location, a.location));
+
+  if (a.name == b.name) {
+    EXPECT_NEAR(greatCircleKm(a.location, b.location), 0.0, 1e-9);
+    return;
+  }
+  // Positivity and physical sanity: slower than light-in-fiber, faster than
+  // half the speed of a carrier pigeon.
+  const double km = greatCircleKm(a.location, b.location);
+  const double ms = propagationDelay(a.location, b.location).toMillis();
+  EXPECT_GT(ms, km / 200'000.0 * 1000.0 * 0.99);  // >= fiber floor
+  EXPECT_LT(ms, km / 200'000.0 * 1000.0 * 2.5);   // bounded inflation
+
+  // Triangle inequality through every third region (inflation >= the
+  // long-haul factor keeps this true).
+  for (const Region& c : regions) {
+    const double direct = propagationDelay(a.location, b.location).toMillis();
+    const double viaC = propagationDelay(a.location, c.location).toMillis() +
+                        propagationDelay(c.location, b.location).toMillis();
+    EXPECT_LE(direct, viaC + 1e-9)
+        << a.name << "->" << b.name << " via " << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, RegionPairs,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 5)));
+
+// --------------------------------------------------- netem rate conformance
+
+class ShaperRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShaperRates, ShapedStreamConformsToRate) {
+  const double mbps = GetParam();
+  Simulator sim{5};
+  Network net{sim};
+  Node& a = net.addNode("a");
+  Node& b = net.addNode("b");
+  a.addAddress(Ipv4Address(10, 0, 0, 1));
+  b.addAddress(Ipv4Address(10, 0, 0, 2));
+  auto [da, db] = Link::connect(a, b, LinkConfig{});
+  a.setDefaultRoute(da);
+  b.setDefaultRoute(db);
+  NetemConfig cfg;
+  cfg.rateLimit = DataRate::mbps(mbps);
+  cfg.shaperBuffer = ByteSize::bytes(static_cast<std::int64_t>(mbps * 1e6 / 8 * 0.3));
+  da.netem().configure(cfg);
+
+  UdpSocket server{b, 5000};
+  UdpSocket client{a};
+  std::int64_t received = 0;
+  server.onReceive([&](const Packet& p, const Endpoint&) {
+    received += p.wireSize().toBytes();
+  });
+  // Saturating offered load: 4x the shaped rate.
+  PeriodicTask sender{sim, Duration::millis(5), [&] {
+    client.sendTo(Endpoint{b.primaryAddress(), 5000},
+                  ByteSize::bytes(static_cast<std::int64_t>(mbps * 1e6 / 8 * 0.02)));
+  }};
+  sim.runFor(Duration::seconds(30));
+  const double gotMbps = received * 8.0 / 30.0 / 1e6;
+  EXPECT_LE(gotMbps, mbps * 1.05);
+  EXPECT_GE(gotMbps, mbps * 0.80);
+}
+
+INSTANTIATE_TEST_SUITE_P(RateGrid, ShaperRates,
+                         ::testing::Values(0.1, 0.3, 0.5, 1.0, 2.0, 5.0));
+
+// -------------------------------------------------------- TCP window scaling
+
+class TcpWindows : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpWindows, ThroughputTracksWindowOverRtt) {
+  const std::uint32_t window = 1u << GetParam();
+  Simulator sim{5};
+  Network net{sim};
+  Node& a = net.addNode("a");
+  Node& b = net.addNode("b");
+  a.addAddress(Ipv4Address(10, 0, 0, 1));
+  b.addAddress(Ipv4Address(10, 0, 0, 2));
+  LinkConfig link;
+  link.rate = DataRate::gbps(1);
+  link.delay = Duration::millis(25);  // 50 ms RTT
+  auto [da, db] = Link::connect(a, b, link);
+  a.setDefaultRoute(da);
+  b.setDefaultRoute(db);
+
+  TcpConfig cfg;
+  cfg.receiveWindow = window;
+  TcpListener listener{b, 443, cfg};
+  std::int64_t got = 0;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { got += m.size.toBytes(); });
+  });
+  auto client = TcpSocket::create(a, cfg);
+  client->connect(Endpoint{b.primaryAddress(), 443}, nullptr);
+  Message m;
+  m.kind = "bulk";
+  m.size = ByteSize::megabytes(2);
+  client->send(std::move(m));
+  const TimePoint start = sim.now();
+  sim.run();
+  EXPECT_EQ(got, 2'000'000);
+  const double secs = (sim.now() - start).toSeconds();
+  const double bound = static_cast<double>(window) / 0.050;  // bytes/sec
+  // Cannot beat window/RTT (modulo handshake rounding).
+  EXPECT_GE(secs, 2'000'000.0 / bound * 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowGrid, TcpWindows,
+                         ::testing::Values(14, 16, 18, 20));  // 16 KB..1 MB
+
+// ------------------------------------- per-platform calibration identities
+
+class PlatformCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlatformCalibration, AvatarWireRateMatchesSpecFormula) {
+  const PlatformSpec spec =
+      platforms::allFive()[static_cast<std::size_t>(GetParam())];
+  const TwoUserThroughputRow row = runTwoUserThroughput(spec, 2);
+  // Predicted on-wire avatar rate from the spec (see catalog.cpp notes).
+  const double overhead = spec.data.protocol == DataProtocol::Udp
+                              ? wire::kEthIpUdp
+                              : wire::kEthIpTcp + wire::kTlsRecord;
+  const double predictedKbps =
+      spec.avatar.updateRateHz *
+      (static_cast<double>(spec.avatar.bytesPerUpdate.toBytes()) + overhead) *
+      8.0 / 1000.0;
+  EXPECT_NEAR(row.avatarKbps, predictedKbps, 0.08 * predictedKbps + 1.0)
+      << spec.name;
+}
+
+TEST_P(PlatformCalibration, UplinkMatchesDownlinkExceptWorlds) {
+  const PlatformSpec spec =
+      platforms::allFive()[static_cast<std::size_t>(GetParam())];
+  const TwoUserThroughputRow row = runTwoUserThroughput(spec, 2);
+  if (spec.name == "Worlds") {
+    EXPECT_GT(row.upKbps, 1.5 * row.downKbps);
+  } else {
+    EXPECT_NEAR(row.upKbps, row.downKbps, 0.08 * row.downKbps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformCalibration,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,191 @@
+// Unit tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace msim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(TimePoint::epoch() + Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(TimePoint::epoch() + Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(TimePoint::epoch() + Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().toMillis(), 30.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = TimePoint::epoch() + Duration::millis(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint firedAt;
+  sim.scheduleAfter(Duration::millis(10), [&] {
+    sim.scheduleAfter(Duration::millis(5), [&] { firedAt = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(firedAt.toMillis(), 15.0);
+}
+
+TEST(SimulatorTest, PastSchedulesClampToNow) {
+  Simulator sim;
+  sim.scheduleAfter(Duration::millis(10), [&] {
+    sim.schedule(TimePoint::epoch(), [] {});  // in the past
+  });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(sim.now().toMillis(), 10.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim;
+  bool fired = false;
+  sim.scheduleAfter(Duration::millis(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().toMillis(), 0.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.scheduleAfter(Duration::millis(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  const auto id = sim.scheduleAfter(Duration::millis(1), [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // must not crash or double-fire
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, RunUntilLimitStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAfter(Duration::millis(10), [&] { ++fired; });
+  sim.scheduleAfter(Duration::millis(100), [&] { ++fired; });
+  sim.run(TimePoint::epoch() + Duration::millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().toMillis(), 50.0);  // clock advanced to the limit
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.runFor(Duration::seconds(1));
+  EXPECT_EQ(sim.now().toSeconds(), 1.0);
+  sim.runFor(Duration::seconds(2));
+  EXPECT_EQ(sim.now().toSeconds(), 3.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.scheduleAfter(Duration::micros(1), recurse);
+  };
+  sim.scheduleAfter(Duration::micros(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(SimulatorTest, IdleReflectsPendingWork) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  const auto id = sim.scheduleAfter(Duration::millis(1), [] {});
+  EXPECT_FALSE(sim.idle());
+  sim.cancel(id);
+  EXPECT_TRUE(sim.idle());  // cancelled-only queue counts as idle
+}
+
+TEST(SimulatorTest, RngIsSeeded) {
+  Simulator a{42};
+  Simulator b{42};
+  EXPECT_DOUBLE_EQ(a.rng().uniform(0, 1), b.rng().uniform(0, 1));
+  Simulator c{43};
+  // Overwhelmingly likely to differ.
+  EXPECT_NE(a.rng().uniform(0, 1), c.rng().uniform(0, 1));
+}
+
+// -------------------------------------------------------------- PeriodicTask
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task{sim, Duration::millis(10), [&] { times.push_back(sim.now().toMillis()); }};
+  sim.runFor(Duration::millis(35));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 20.0);
+  EXPECT_DOUBLE_EQ(times[2], 30.0);
+}
+
+TEST(PeriodicTaskTest, PhaseControlsFirstTick) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task{sim, Duration::millis(10), Duration::zero(),
+                    [&] { times.push_back(sim.now().toMillis()); }};
+  sim.runFor(Duration::millis(25));
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 10.0);
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task{sim, Duration::millis(10), [&] {
+                      if (++count == 3) task.stop();
+                    }};
+  sim.runFor(Duration::seconds(1));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsCleanly) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task{sim, Duration::millis(10), [&] { ++count; }};
+    sim.runFor(Duration::millis(15));
+  }
+  sim.runFor(Duration::seconds(1));  // must not crash / fire after dtor
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, SetPeriodTakesEffectNextTick) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task{sim, Duration::millis(10), [&] {
+                      times.push_back(sim.now().toMillis());
+                      task.setPeriod(Duration::millis(20));
+                    }};
+  sim.runFor(Duration::millis(55));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 30.0);
+  EXPECT_DOUBLE_EQ(times[2], 50.0);
+}
+
+}  // namespace
+}  // namespace msim

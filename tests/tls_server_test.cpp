@@ -1,0 +1,101 @@
+// TlsStreamServer connection-management specifics.
+
+#include <gtest/gtest.h>
+
+#include "transport/tls.hpp"
+
+namespace msim {
+namespace {
+
+class TlsServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a = &net.addNode("a");
+    b = &net.addNode("b");
+    a->addAddress(Ipv4Address(10, 0, 0, 1));
+    b->addAddress(Ipv4Address(10, 0, 0, 2));
+    auto [da, db] = Link::connect(*a, *b, LinkConfig{});
+    a->setDefaultRoute(da);
+    b->setDefaultRoute(db);
+  }
+  Simulator sim{33};
+  Network net{sim};
+  Node* a{};
+  Node* b{};
+};
+
+TEST_F(TlsServerFixture, PeerOfReportsClientEndpoint) {
+  TlsStreamServer server{*b, 443};
+  TlsStreamServer::ConnId id = 0;
+  server.onConnected([&](TlsStreamServer::ConnId c) { id = c; });
+  TlsStreamClient client{*a};
+  client.connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  sim.runFor(Duration::seconds(2));
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(server.peerOf(id).addr, a->primaryAddress());
+  EXPECT_EQ(server.peerOf(9999).addr, Ipv4Address{});  // unknown id
+}
+
+TEST_F(TlsServerFixture, ServerInitiatedCloseNotifiesClient) {
+  TlsStreamServer server{*b, 443};
+  TlsStreamServer::ConnId id = 0;
+  server.onConnected([&](TlsStreamServer::ConnId c) { id = c; });
+  TlsStreamClient client{*a};
+  bool clientClosed = false;
+  client.onClose([&] { clientClosed = true; });
+  client.connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  sim.runFor(Duration::seconds(2));
+  server.closeConn(id);
+  client.close();  // complete the bidirectional teardown
+  sim.runFor(Duration::seconds(10));
+  EXPECT_TRUE(clientClosed);
+}
+
+TEST_F(TlsServerFixture, DisconnectHandlerFiresOnClientAbort) {
+  TlsStreamServer server{*b, 443};
+  int disconnects = 0;
+  server.onDisconnected([&](TlsStreamServer::ConnId) { ++disconnects; });
+  {
+    TlsStreamClient client{*a};
+    client.connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+    sim.runFor(Duration::seconds(2));
+    ASSERT_EQ(server.connectionCount(), 1u);
+    client.socket()->abort();
+    sim.runFor(Duration::seconds(2));
+  }
+  EXPECT_EQ(disconnects, 1);
+  EXPECT_EQ(server.connectionCount(), 0u);
+}
+
+TEST_F(TlsServerFixture, MultipleClientsMultiplex) {
+  TlsStreamServer server{*b, 443};
+  std::vector<std::uint64_t> seen;
+  server.onMessage([&](TlsStreamServer::ConnId, const Message& m) {
+    seen.push_back(m.senderId);
+  });
+  Node* c = &net.addNode("c");
+  c->addAddress(Ipv4Address(10, 0, 0, 3));
+  auto [dc, dbc] = Link::connect(*c, *b, LinkConfig{});
+  c->setDefaultRoute(dc);
+  b->addHostRoute(c->primaryAddress(), dbc);
+
+  TlsStreamClient c1{*a};
+  TlsStreamClient c2{*c};
+  c1.connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  c2.connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  Message m1;
+  m1.kind = "x";
+  m1.size = ByteSize::bytes(10);
+  m1.senderId = 1;
+  Message m2 = m1;
+  m2.senderId = 2;
+  c1.send(m1);
+  c2.send(m2);
+  sim.runFor(Duration::seconds(3));
+  ASSERT_EQ(server.connectionCount(), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(seen[0], seen[1]);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,134 @@
+// Last-mile edge coverage: measurement tools under failure, formatting
+// corners, and capture bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "core/capture.hpp"
+#include "core/testbed.hpp"
+#include "geo/tools.hpp"
+
+namespace msim {
+namespace {
+
+TEST(TracerouteEdgeTest, UnreachableTargetShowsStarsAndGivesUp) {
+  Simulator sim{7};
+  Network net{sim};
+  InternetFabric fabric{net};
+  Node& src = fabric.attachHost("src", regions::usEast(), Ipv4Address(10, 0, 0, 1));
+  TracerouteTool tracer{src};
+  std::vector<TracerouteHop> hops;
+  bool done = false;
+  // 100.9.9.9 is routable nowhere: probes die at the core router.
+  tracer.trace(Ipv4Address(100, 9, 9, 9),
+               [&](const std::vector<TracerouteHop>& h) {
+                 hops = h;
+                 done = true;
+               },
+               /*maxTtl=*/5, /*probeTimeout=*/Duration::millis(500));
+  sim.run();
+  ASSERT_TRUE(done);
+  ASSERT_EQ(hops.size(), 5u);  // ran to maxTtl
+  EXPECT_FALSE(hops.back().reachedTarget);
+  // At least one hop timed out ('*') — the packet vanished at the core.
+  bool sawStar = false;
+  for (const auto& hop : hops) sawStar |= hop.addr.isUnspecified();
+  EXPECT_TRUE(sawStar);
+}
+
+TEST(PingEdgeTest, ConcurrentRunsDoNotCrossTalk) {
+  Simulator sim{7};
+  Network net{sim};
+  InternetFabric fabric{net};
+  Node& src = fabric.attachHost("src", regions::usEast(), Ipv4Address(10, 0, 0, 1));
+  Node& near = fabric.attachHost("near", regions::usEast(), Ipv4Address(100, 3, 1, 1));
+  Node& far = fabric.attachHost("far", regions::europe(), Ipv4Address(100, 3, 3, 1));
+  PingTool pinger{src};
+  double nearRtt = -1;
+  double farRtt = -1;
+  pinger.ping(near.primaryAddress(), 5,
+              [&](const PingResult& r) { nearRtt = r.rttMs.mean(); });
+  pinger.ping(far.primaryAddress(), 5,
+              [&](const PingResult& r) { farRtt = r.rttMs.mean(); });
+  sim.run();
+  EXPECT_LT(nearRtt, 5.0);
+  EXPECT_GT(farRtt, 50.0);  // the two interleaved runs stayed separate
+}
+
+TEST(PingEdgeTest, PartialLossIsReportedNotFatal) {
+  Simulator sim{7};
+  Network net{sim};
+  Node& a = net.addNode("a");
+  Node& b = net.addNode("b");
+  a.addAddress(Ipv4Address(10, 0, 0, 1));
+  b.addAddress(Ipv4Address(10, 0, 0, 2));
+  auto [da, db] = Link::connect(a, b, LinkConfig{});
+  a.setDefaultRoute(da);
+  b.setDefaultRoute(db);
+  NetemConfig lossy;
+  lossy.lossRate = 0.5;
+  da.netem().configure(lossy);
+  PingTool pinger{a};
+  PingResult result;
+  pinger.ping(b.primaryAddress(), 20, [&](const PingResult& r) { result = r; });
+  sim.run();
+  EXPECT_EQ(result.sent, 20);
+  EXPECT_GT(result.received, 2);
+  EXPECT_LT(result.received, 18);
+}
+
+TEST(CaptureEdgeTest, ActionSeenOnceOnlyFirstTimestampKept) {
+  Testbed bed{91};
+  bed.deploy(platforms::worlds());
+  TestUserConfig cfg;
+  cfg.wander = false;
+  TestUser& u1 = bed.addUser(cfg);
+  TestUser& u2 = bed.addUser(cfg);
+  bed.sim().schedule(TimePoint::epoch(), [&] {
+    u1.client->launch();
+    u2.client->launch();
+    u1.client->joinEvent();
+    u2.client->joinEvent();
+  });
+  bed.sim().runFor(Duration::seconds(5));
+  const std::uint64_t action = bed.nextActionId();
+  u1.client->performVisibleAction(action);
+  bed.sim().runFor(Duration::seconds(2));
+  const auto first = u1.capture->firstUplinkAction(action);
+  ASSERT_TRUE(first.has_value());
+  bed.sim().runFor(Duration::seconds(2));
+  EXPECT_EQ(u1.capture->firstUplinkAction(action), first);  // sticky
+  EXPECT_FALSE(u1.capture->firstUplinkAction(999'999).has_value());
+}
+
+TEST(FormattingEdgeTest, NegativeDurationsRender) {
+  EXPECT_EQ(Duration::millis(-3).toString(), "-3ms");
+  EXPECT_EQ((Duration::seconds(1) - Duration::seconds(3)).toString(), "-2s");
+}
+
+TEST(FormattingEdgeTest, RateEdges) {
+  EXPECT_EQ(DataRate::bps(0).toString(), "0bps");
+  EXPECT_TRUE(DataRate::zero().isZero());
+  EXPECT_TRUE(rateOf(ByteSize::bytes(100), Duration::millis(-1)).isZero());
+}
+
+TEST(AnycastEdgeTest, SingleVantageStillProducesVerdict) {
+  Simulator sim{7};
+  Network net{sim};
+  InternetFabric fabric{net};
+  Node& v = fabric.attachHost("v", regions::usEast(), Ipv4Address(10, 0, 0, 1));
+  Node& server = fabric.attachHost("s", regions::usEast(), Ipv4Address(100, 3, 1, 1));
+  TransportMux::of(server);
+  bool done = false;
+  AnycastReport report;
+  AnycastInference::run(sim, {&v}, server.primaryAddress(),
+                        [&](const AnycastReport& r) {
+                          report = r;
+                          done = true;
+                        });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(report.rationale.empty());
+}
+
+}  // namespace
+}  // namespace msim

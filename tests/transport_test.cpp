@@ -1,0 +1,541 @@
+// Unit and property tests for the transport substrate:
+// UDP, TCP (Reno), TLS streams, HTTP, RTP/RTCP.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "transport/http.hpp"
+#include "transport/rtp.hpp"
+#include "transport/tcp.hpp"
+#include "transport/tls.hpp"
+#include "transport/udp.hpp"
+
+namespace msim {
+namespace {
+
+/// Two hosts joined by a configurable link.
+class TransportFixture : public ::testing::Test {
+ protected:
+  void connectHosts(LinkConfig cfg) {
+    auto [da, db] = Link::connect(*a, *b, cfg);
+    a->setDefaultRoute(da);
+    b->setDefaultRoute(db);
+    devA = &da;
+    devB = &db;
+  }
+
+  void SetUp() override {
+    a = &net.addNode("a");
+    b = &net.addNode("b");
+    a->addAddress(Ipv4Address(10, 0, 0, 1));
+    b->addAddress(Ipv4Address(10, 0, 0, 2));
+    LinkConfig cfg;
+    cfg.rate = DataRate::mbps(100);
+    cfg.delay = Duration::millis(5);
+    connectHosts(cfg);
+  }
+
+  Simulator sim{1};
+  Network net{sim};
+  Node* a{};
+  Node* b{};
+  NetDevice* devA{};
+  NetDevice* devB{};
+};
+
+// ---------------------------------------------------------------------- UDP
+
+TEST_F(TransportFixture, UdpDatagramDelivery) {
+  UdpSocket server{*b, 5000};
+  UdpSocket client{*a};
+  int received = 0;
+  Endpoint from;
+  server.onReceive([&](const Packet& p, const Endpoint& src) {
+    ++received;
+    from = src;
+    EXPECT_EQ(p.payloadBytes.toBytes(), 200);
+  });
+  client.sendTo(Endpoint{b->primaryAddress(), 5000}, ByteSize::bytes(200));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(from.addr, a->primaryAddress());
+  EXPECT_EQ(from.port, client.localPort());
+}
+
+TEST_F(TransportFixture, UdpEphemeralPortsAreDistinct) {
+  UdpSocket s1{*a};
+  UdpSocket s2{*a};
+  UdpSocket s3{*a};
+  EXPECT_NE(s1.localPort(), s2.localPort());
+  EXPECT_NE(s2.localPort(), s3.localPort());
+  EXPECT_GE(s1.localPort(), 49152);
+}
+
+TEST_F(TransportFixture, UdpFragmentsLargePayload) {
+  UdpSocket server{*b, 5000};
+  UdpSocket client{*a};
+  int fragments = 0;
+  int messagesSeen = 0;
+  std::int64_t totalBytes = 0;
+  server.onReceive([&](const Packet& p, const Endpoint&) {
+    ++fragments;
+    totalBytes += p.payloadBytes.toBytes();
+    if (p.primaryMessage() != nullptr) ++messagesSeen;
+  });
+  auto msg = std::make_shared<Message>();
+  msg->kind = "bulk";
+  msg->size = ByteSize::bytes(5000);
+  client.sendTo(Endpoint{b->primaryAddress(), 5000}, ByteSize::bytes(5000), msg);
+  sim.run();
+  EXPECT_EQ(fragments, 4);  // 1472 * 3 + remainder
+  EXPECT_EQ(totalBytes, 5000);
+  EXPECT_EQ(messagesSeen, 1);  // message rides the final fragment
+}
+
+TEST_F(TransportFixture, UdpSocketUnbindsOnDestruction) {
+  {
+    UdpSocket server{*b, 6000};
+    EXPECT_TRUE(TransportMux::of(*b).udpPortBound(6000));
+  }
+  EXPECT_FALSE(TransportMux::of(*b).udpPortBound(6000));
+}
+
+TEST_F(TransportFixture, UdpZeroBytePayloadStillDelivers) {
+  UdpSocket server{*b, 5000};
+  UdpSocket client{*a};
+  int received = 0;
+  server.onReceive([&](const Packet&, const Endpoint&) { ++received; });
+  client.sendTo(Endpoint{b->primaryAddress(), 5000}, ByteSize::zero());
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+// ---------------------------------------------------------------------- TCP
+
+Message appMessage(const std::string& kind, std::int64_t bytes,
+                   std::uint64_t action = 0) {
+  Message m;
+  m.kind = kind;
+  m.size = ByteSize::bytes(bytes);
+  m.actionId = action;
+  return m;
+}
+
+TEST_F(TransportFixture, TcpHandshakeCompletes) {
+  TcpListener listener{*b, 443};
+  bool accepted = false;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>&) { accepted = true; });
+  auto client = TcpSocket::create(*a);
+  bool connected = false;
+  client->connect(Endpoint{b->primaryAddress(), 443},
+                  [&](bool ok) { connected = ok; });
+  sim.run();
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(client->state(), TcpState::Established);
+}
+
+TEST_F(TransportFixture, TcpConnectToClosedPortFails) {
+  auto client = TcpSocket::create(*a);
+  bool result = true;
+  client->connect(Endpoint{b->primaryAddress(), 444},
+                  [&](bool ok) { result = ok; });
+  sim.run();
+  EXPECT_FALSE(result);  // RST answered
+  EXPECT_EQ(client->state(), TcpState::Closed);
+}
+
+TEST_F(TransportFixture, TcpDeliversMessagesInOrder) {
+  TcpListener listener{*b, 443};
+  std::vector<std::string> got;
+  std::shared_ptr<TcpSocket> serverSock;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    serverSock = s;
+    s->onMessage([&](const Message& m) { got.push_back(m.kind); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  client->send(appMessage("first", 100));
+  client->send(appMessage("second", 2000));
+  client->send(appMessage("third", 50));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second");
+  EXPECT_EQ(got[2], "third");
+}
+
+TEST_F(TransportFixture, TcpBulkTransferCompletes) {
+  TcpListener listener{*b, 443};
+  std::int64_t received = 0;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { received += m.size.toBytes(); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  client->send(appMessage("bulk", 5'000'000));
+  sim.run();
+  EXPECT_EQ(received, 5'000'000);
+}
+
+TEST_F(TransportFixture, TcpDeliveredCallbackFiresAfterAck) {
+  TcpListener listener{*b, 443};
+  listener.onAccept([](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([](const Message&) {});
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  std::vector<std::string> delivered;
+  client->onDelivered([&](const Message& m) { delivered.push_back(m.kind); });
+  client->send(appMessage("m1", 500));
+  client->send(appMessage("m2", 500));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], "m1");
+  EXPECT_FALSE(client->hasUnackedData());
+}
+
+TEST_F(TransportFixture, TcpSurvivesHeavyLoss) {
+  NetemConfig lossy;
+  lossy.lossRate = 0.1;
+  devA->netem().configure(lossy);
+  devB->netem().configure(lossy);
+  TcpListener listener{*b, 443};
+  std::int64_t received = 0;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { received += m.size.toBytes(); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  client->send(appMessage("bulk", 500'000));
+  sim.run();
+  EXPECT_EQ(received, 500'000);
+  EXPECT_GT(client->retransmits(), 0u);
+}
+
+TEST_F(TransportFixture, TcpRttEstimateTracksPathRtt) {
+  TcpListener listener{*b, 443};
+  listener.onAccept([](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([](const Message&) {});
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  for (int i = 0; i < 20; ++i) client->send(appMessage("ping", 100));
+  sim.run();
+  // Path RTT is 10 ms + serialization; delayed ACK may add up to 40 ms.
+  EXPECT_GT(client->smoothedRtt().toMillis(), 9.0);
+  EXPECT_LT(client->smoothedRtt().toMillis(), 60.0);
+}
+
+TEST_F(TransportFixture, TcpCloseHandshake) {
+  TcpListener listener{*b, 443};
+  std::shared_ptr<TcpSocket> serverSock;
+  bool serverSawClose = false;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    serverSock = s;
+    s->onMessage([](const Message&) {});
+    s->onClose([&] { serverSawClose = true; });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  client->send(appMessage("data", 1000));
+  sim.runFor(Duration::seconds(1));
+  client->close();
+  ASSERT_TRUE(serverSock != nullptr);
+  serverSock->close();
+  sim.runFor(Duration::seconds(5));
+  EXPECT_TRUE(serverSawClose);
+  EXPECT_EQ(client->state(), TcpState::Closed);
+}
+
+TEST_F(TransportFixture, TcpAbortSendsRst) {
+  TcpListener listener{*b, 443};
+  bool serverClosed = false;
+  std::shared_ptr<TcpSocket> serverSock;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    serverSock = s;
+    s->onClose([&] { serverClosed = true; });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  sim.runFor(Duration::seconds(1));
+  client->abort();
+  sim.runFor(Duration::seconds(1));
+  EXPECT_TRUE(serverClosed);
+}
+
+TEST_F(TransportFixture, TcpTotalBlackoutGivesUpEventually) {
+  TcpListener listener{*b, 443};
+  listener.onAccept([](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([](const Message&) {});
+  });
+  TcpConfig cfg;
+  cfg.maxDataRetries = 4;
+  auto client = TcpSocket::create(*a, cfg);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  sim.runFor(Duration::seconds(1));
+  bool closed = false;
+  client->onClose([&] { closed = true; });
+  NetemConfig blackout;
+  blackout.lossRate = 1.0;
+  devA->netem().configure(blackout);
+  client->send(appMessage("doomed", 1000));
+  sim.runFor(Duration::minutes(5));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(client->state(), TcpState::Closed);
+}
+
+TEST_F(TransportFixture, TcpRecoversAfterTemporaryBlackout) {
+  TcpListener listener{*b, 443};
+  std::int64_t received = 0;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { received += m.size.toBytes(); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  sim.runFor(Duration::seconds(1));
+  NetemConfig blackout;
+  blackout.lossRate = 1.0;
+  devA->netem().configure(blackout);
+  client->send(appMessage("patient", 10'000));
+  sim.runFor(Duration::seconds(10));
+  EXPECT_EQ(received, 0);
+  devA->netem().reset();
+  sim.runFor(Duration::minutes(2));
+  EXPECT_EQ(received, 10'000);  // retransmission finished the job
+}
+
+TEST_F(TransportFixture, TcpThroughputRespectsBottleneck) {
+  LinkConfig slow;
+  slow.rate = DataRate::mbps(10);
+  slow.delay = Duration::millis(5);
+  slow.queueLimit = ByteSize::kilobytes(64);
+  connectHosts(slow);
+  TcpListener listener{*b, 443};
+  std::int64_t received = 0;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { received += m.size.toBytes(); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  client->send(appMessage("bulk", 2'000'000));
+  const auto start = sim.now();
+  sim.run();
+  const double secs = (sim.now() - start).toSeconds();
+  const double mbps = 2'000'000 * 8.0 / 1e6 / secs;
+  EXPECT_EQ(received, 2'000'000);
+  EXPECT_LT(mbps, 10.0);   // cannot beat the link
+  EXPECT_GT(mbps, 5.0);    // but should utilize most of it
+}
+
+// Property sweep: every (lossRate, messageCount) combination must deliver
+// all bytes in order.
+class TcpLossSweep : public TransportFixture,
+                     public ::testing::WithParamInterface<std::tuple<double, int>> {};
+
+TEST_P(TcpLossSweep, ReliableOrderedDelivery) {
+  const auto [loss, messages] = GetParam();
+  NetemConfig lossy;
+  lossy.lossRate = loss;
+  devA->netem().configure(lossy);
+  devB->netem().configure(lossy);
+  TcpListener listener{*b, 443};
+  std::vector<std::uint64_t> got;
+  listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
+    s->onMessage([&](const Message& m) { got.push_back(m.sequence); });
+  });
+  auto client = TcpSocket::create(*a);
+  client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
+  for (int i = 0; i < messages; ++i) {
+    auto m = appMessage("seq", 700 + i * 13);
+    m.sequence = static_cast<std::uint64_t>(i);
+    client->send(std::move(m));
+  }
+  sim.runFor(Duration::minutes(10));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(messages));
+  for (int i = 0; i < messages; ++i) {
+    EXPECT_EQ(got[i], static_cast<std::uint64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossGrid, TcpLossSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.02, 0.08, 0.15),
+                       ::testing::Values(1, 10, 40)));
+
+// ---------------------------------------------------------------------- TLS
+
+TEST_F(TransportFixture, TlsStreamHandshakeAndEcho) {
+  TlsStreamServer server{*b, 443};
+  server.onMessage([&](TlsStreamServer::ConnId id, const Message& m) {
+    Message reply;
+    reply.kind = "echo:" + m.kind;
+    reply.size = m.size;
+    server.sendTo(id, std::move(reply));
+  });
+  TlsStreamClient client{*a};
+  bool ready = false;
+  std::string echoed;
+  client.onMessage([&](const Message& m) { echoed = m.kind; });
+  client.connect(Endpoint{b->primaryAddress(), 443}, [&](bool ok) { ready = ok; });
+  Message m;
+  m.kind = "hello";
+  m.size = ByteSize::bytes(100);
+  client.send(std::move(m));  // queued until handshake completes
+  sim.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(echoed, "echo:hello");
+  EXPECT_EQ(server.connectionCount(), 1u);
+}
+
+TEST_F(TransportFixture, TlsHandshakeCostsAtLeastTwoRtts) {
+  // TCP handshake (1 RTT) + TLS hello/flight (1 RTT): ready no earlier than
+  // 2 RTT = 20 ms on this 10 ms-RTT path.
+  TlsStreamServer server{*b, 443};
+  TlsStreamClient client{*a};
+  TimePoint readyAt;
+  client.connect(Endpoint{b->primaryAddress(), 443},
+                 [&](bool) { readyAt = sim.now(); });
+  sim.run();
+  EXPECT_GE(readyAt.toMillis(), 20.0);
+}
+
+// --------------------------------------------------------------------- HTTP
+
+TEST_F(TransportFixture, HttpRequestResponse) {
+  HttpServer server{*b, 443};
+  server.route("/api/", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = ByteSize::bytes(2048);
+    EXPECT_EQ(req.path, "/api/state");
+    return resp;
+  });
+  HttpClient client{*a};
+  int status = 0;
+  std::int64_t body = 0;
+  HttpRequest req;
+  req.path = "/api/state";
+  req.body = ByteSize::bytes(128);
+  client.request(Endpoint{b->primaryAddress(), 443}, req,
+                 [&](const HttpResponse& resp, Duration) {
+                   status = resp.status;
+                   body = resp.body.toBytes();
+                 });
+  sim.run();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, 2048);
+}
+
+TEST_F(TransportFixture, HttpUnroutedPathGets404) {
+  HttpServer server{*b, 443};
+  HttpClient client{*a};
+  int status = 0;
+  client.request(Endpoint{b->primaryAddress(), 443}, HttpRequest{"/nope"},
+                 [&](const HttpResponse& resp, Duration) { status = resp.status; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(TransportFixture, HttpLongestPrefixRouteWins) {
+  HttpServer server{*b, 443};
+  server.route("/", [](const HttpRequest&) { return HttpResponse{201}; });
+  server.route("/deep/", [](const HttpRequest&) { return HttpResponse{202}; });
+  HttpClient client{*a};
+  int s1 = 0;
+  int s2 = 0;
+  client.request(Endpoint{b->primaryAddress(), 443}, HttpRequest{"/deep/x"},
+                 [&](const HttpResponse& r, Duration) { s1 = r.status; });
+  client.request(Endpoint{b->primaryAddress(), 443}, HttpRequest{"/other"},
+                 [&](const HttpResponse& r, Duration) { s2 = r.status; });
+  sim.run();
+  EXPECT_EQ(s1, 202);
+  EXPECT_EQ(s2, 201);
+}
+
+TEST_F(TransportFixture, HttpPipelinedResponsesMatchFifo) {
+  HttpServer server{*b, 443};
+  server.route("/", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = ByteSize::bytes(req.path == "/big" ? 100'000 : 10);
+    return resp;
+  });
+  HttpClient client{*a};
+  std::vector<std::int64_t> bodies;
+  for (const char* path : {"/big", "/small", "/small"}) {
+    client.request(Endpoint{b->primaryAddress(), 443}, HttpRequest{path},
+                   [&](const HttpResponse& r, Duration) {
+                     bodies.push_back(r.body.toBytes());
+                   });
+  }
+  sim.run();
+  ASSERT_EQ(bodies.size(), 3u);
+  EXPECT_EQ(bodies[0], 100'000);  // FIFO even though later ones are smaller
+  EXPECT_EQ(bodies[1], 10);
+}
+
+TEST_F(TransportFixture, HttpBusyReflectsInflightRequests) {
+  HttpServer server{*b, 443};
+  server.route("/", [](const HttpRequest&) { return HttpResponse{}; });
+  HttpClient client{*a};
+  EXPECT_FALSE(client.busy());
+  client.request(Endpoint{b->primaryAddress(), 443}, HttpRequest{"/x"}, nullptr);
+  EXPECT_TRUE(client.busy());
+  sim.run();
+  EXPECT_FALSE(client.busy());
+}
+
+TEST_F(TransportFixture, HttpActionIdPropagates) {
+  HttpServer server{*b, 443};
+  server.route("/", [](const HttpRequest&) { return HttpResponse{}; });
+  HttpClient client{*a};
+  std::uint64_t echoed = 0;
+  HttpRequest req{"/act"};
+  req.actionId = 777;
+  client.request(Endpoint{b->primaryAddress(), 443}, req,
+                 [&](const HttpResponse& r, Duration) { echoed = r.actionId; });
+  sim.run();
+  EXPECT_EQ(echoed, 777);
+}
+
+// ---------------------------------------------------------------------- RTP
+
+TEST_F(TransportFixture, RtpFramesFlow) {
+  RtpSession alice{*a};
+  RtpSession bob{*b, 7000};
+  alice.setRemote(Endpoint{b->primaryAddress(), 7000});
+  bob.setRemote(Endpoint{a->primaryAddress(), alice.localPort()});
+  int frames = 0;
+  bob.onFrame([&](const Packet& p, const Endpoint&) {
+    ++frames;
+    EXPECT_EQ(p.overheadBytes, wire::kEthIpUdp + wire::kDtlsSrtp);
+  });
+  for (int i = 0; i < 10; ++i) alice.sendFrame(ByteSize::bytes(320));
+  sim.run();
+  EXPECT_EQ(frames, 10);
+  EXPECT_EQ(alice.framesSent(), 10u);
+  EXPECT_EQ(bob.framesReceived(), 10u);
+}
+
+TEST_F(TransportFixture, RtcpMeasuresPathRtt) {
+  RtpSession alice{*a};
+  RtpSession bob{*b, 7000};
+  alice.setRemote(Endpoint{b->primaryAddress(), 7000});
+  bob.setRemote(Endpoint{a->primaryAddress(), alice.localPort()});
+  alice.startRtcp(Duration::seconds(1));
+  sim.runFor(Duration::seconds(5));
+  ASSERT_TRUE(alice.lastRtt().has_value());
+  EXPECT_NEAR(alice.lastRtt()->toMillis(), 10.0, 1.0);  // 2 x 5 ms propagation
+}
+
+TEST_F(TransportFixture, RtcpSurvivesUnresponsivePeer) {
+  RtpSession alice{*a};
+  alice.setRemote(Endpoint{b->primaryAddress(), 7999});  // nobody listening
+  alice.startRtcp(Duration::seconds(1));
+  sim.runFor(Duration::minutes(2));  // must not grow unboundedly or crash
+  EXPECT_FALSE(alice.lastRtt().has_value());
+}
+
+}  // namespace
+}  // namespace msim
