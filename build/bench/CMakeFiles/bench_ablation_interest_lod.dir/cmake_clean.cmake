@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interest_lod.dir/bench_ablation_interest_lod.cpp.o"
+  "CMakeFiles/bench_ablation_interest_lod.dir/bench_ablation_interest_lod.cpp.o.d"
+  "bench_ablation_interest_lod"
+  "bench_ablation_interest_lod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interest_lod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

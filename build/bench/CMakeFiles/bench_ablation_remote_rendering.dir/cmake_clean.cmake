@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_remote_rendering.dir/bench_ablation_remote_rendering.cpp.o"
+  "CMakeFiles/bench_ablation_remote_rendering.dir/bench_ablation_remote_rendering.cpp.o.d"
+  "bench_ablation_remote_rendering"
+  "bench_ablation_remote_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_remote_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_workrooms.dir/bench_ext_workrooms.cpp.o"
+  "CMakeFiles/bench_ext_workrooms.dir/bench_ext_workrooms.cpp.o.d"
+  "bench_ext_workrooms"
+  "bench_ext_workrooms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_workrooms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

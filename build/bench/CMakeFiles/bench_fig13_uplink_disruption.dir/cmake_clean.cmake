@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_uplink_disruption.dir/bench_fig13_uplink_disruption.cpp.o"
+  "CMakeFiles/bench_fig13_uplink_disruption.dir/bench_fig13_uplink_disruption.cpp.o.d"
+  "bench_fig13_uplink_disruption"
+  "bench_fig13_uplink_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_uplink_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_users_tput_fps.dir/bench_fig7_users_tput_fps.cpp.o"
+  "CMakeFiles/bench_fig7_users_tput_fps.dir/bench_fig7_users_tput_fps.cpp.o.d"
+  "bench_fig7_users_tput_fps"
+  "bench_fig7_users_tput_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_users_tput_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_background_download.dir/bench_sec52_background_download.cpp.o"
+  "CMakeFiles/bench_sec52_background_download.dir/bench_sec52_background_download.cpp.o.d"
+  "bench_sec52_background_download"
+  "bench_sec52_background_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_background_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

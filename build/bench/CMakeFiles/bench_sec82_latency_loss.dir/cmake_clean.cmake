@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec82_latency_loss.dir/bench_sec82_latency_loss.cpp.o"
+  "CMakeFiles/bench_sec82_latency_loss.dir/bench_sec82_latency_loss.cpp.o.d"
+  "bench_sec82_latency_loss"
+  "bench_sec82_latency_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec82_latency_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_infrastructure.dir/bench_table2_infrastructure.cpp.o"
+  "CMakeFiles/bench_table2_infrastructure.dir/bench_table2_infrastructure.cpp.o.d"
+  "bench_table2_infrastructure"
+  "bench_table2_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

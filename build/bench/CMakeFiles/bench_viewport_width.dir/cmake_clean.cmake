@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viewport_width.dir/bench_viewport_width.cpp.o"
+  "CMakeFiles/bench_viewport_width.dir/bench_viewport_width.cpp.o.d"
+  "bench_viewport_width"
+  "bench_viewport_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viewport_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_experiment.dir/crowd_experiment.cpp.o"
+  "CMakeFiles/crowd_experiment.dir/crowd_experiment.cpp.o.d"
+  "crowd_experiment"
+  "crowd_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

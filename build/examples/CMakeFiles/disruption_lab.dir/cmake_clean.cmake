@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disruption_lab.dir/disruption_lab.cpp.o"
+  "CMakeFiles/disruption_lab.dir/disruption_lab.cpp.o.d"
+  "disruption_lab"
+  "disruption_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disruption_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

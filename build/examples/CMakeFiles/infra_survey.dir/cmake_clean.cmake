@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_survey.dir/infra_survey.cpp.o"
+  "CMakeFiles/infra_survey.dir/infra_survey.cpp.o.d"
+  "infra_survey"
+  "infra_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

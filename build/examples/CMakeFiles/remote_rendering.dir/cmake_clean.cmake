@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_rendering.dir/remote_rendering.cpp.o"
+  "CMakeFiles/remote_rendering.dir/remote_rendering.cpp.o.d"
+  "remote_rendering"
+  "remote_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

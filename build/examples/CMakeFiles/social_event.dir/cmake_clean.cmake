@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_event.dir/social_event.cpp.o"
+  "CMakeFiles/social_event.dir/social_event.cpp.o.d"
+  "social_event"
+  "social_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

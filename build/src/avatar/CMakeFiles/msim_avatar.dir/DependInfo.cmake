@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avatar/codec.cpp" "src/avatar/CMakeFiles/msim_avatar.dir/codec.cpp.o" "gcc" "src/avatar/CMakeFiles/msim_avatar.dir/codec.cpp.o.d"
+  "/root/repo/src/avatar/motion.cpp" "src/avatar/CMakeFiles/msim_avatar.dir/motion.cpp.o" "gcc" "src/avatar/CMakeFiles/msim_avatar.dir/motion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/msim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

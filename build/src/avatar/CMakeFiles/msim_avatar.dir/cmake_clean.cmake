@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_avatar.dir/codec.cpp.o"
+  "CMakeFiles/msim_avatar.dir/codec.cpp.o.d"
+  "CMakeFiles/msim_avatar.dir/motion.cpp.o"
+  "CMakeFiles/msim_avatar.dir/motion.cpp.o.d"
+  "libmsim_avatar.a"
+  "libmsim_avatar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_avatar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

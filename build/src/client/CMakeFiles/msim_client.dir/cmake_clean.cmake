@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_client.dir/device.cpp.o"
+  "CMakeFiles/msim_client.dir/device.cpp.o.d"
+  "CMakeFiles/msim_client.dir/headset.cpp.o"
+  "CMakeFiles/msim_client.dir/headset.cpp.o.d"
+  "CMakeFiles/msim_client.dir/metrics.cpp.o"
+  "CMakeFiles/msim_client.dir/metrics.cpp.o.d"
+  "CMakeFiles/msim_client.dir/render.cpp.o"
+  "CMakeFiles/msim_client.dir/render.cpp.o.d"
+  "libmsim_client.a"
+  "libmsim_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

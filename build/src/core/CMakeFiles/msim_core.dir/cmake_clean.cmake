@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_core.dir/autodriver.cpp.o"
+  "CMakeFiles/msim_core.dir/autodriver.cpp.o.d"
+  "CMakeFiles/msim_core.dir/capture.cpp.o"
+  "CMakeFiles/msim_core.dir/capture.cpp.o.d"
+  "CMakeFiles/msim_core.dir/disruptor.cpp.o"
+  "CMakeFiles/msim_core.dir/disruptor.cpp.o.d"
+  "CMakeFiles/msim_core.dir/experiments.cpp.o"
+  "CMakeFiles/msim_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/msim_core.dir/latency.cpp.o"
+  "CMakeFiles/msim_core.dir/latency.cpp.o.d"
+  "CMakeFiles/msim_core.dir/testbed.cpp.o"
+  "CMakeFiles/msim_core.dir/testbed.cpp.o.d"
+  "libmsim_core.a"
+  "libmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

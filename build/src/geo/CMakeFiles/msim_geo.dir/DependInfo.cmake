@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/dns.cpp" "src/geo/CMakeFiles/msim_geo.dir/dns.cpp.o" "gcc" "src/geo/CMakeFiles/msim_geo.dir/dns.cpp.o.d"
+  "/root/repo/src/geo/fabric.cpp" "src/geo/CMakeFiles/msim_geo.dir/fabric.cpp.o" "gcc" "src/geo/CMakeFiles/msim_geo.dir/fabric.cpp.o.d"
+  "/root/repo/src/geo/geo.cpp" "src/geo/CMakeFiles/msim_geo.dir/geo.cpp.o" "gcc" "src/geo/CMakeFiles/msim_geo.dir/geo.cpp.o.d"
+  "/root/repo/src/geo/tools.cpp" "src/geo/CMakeFiles/msim_geo.dir/tools.cpp.o" "gcc" "src/geo/CMakeFiles/msim_geo.dir/tools.cpp.o.d"
+  "/root/repo/src/geo/whois.cpp" "src/geo/CMakeFiles/msim_geo.dir/whois.cpp.o" "gcc" "src/geo/CMakeFiles/msim_geo.dir/whois.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/msim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/msim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

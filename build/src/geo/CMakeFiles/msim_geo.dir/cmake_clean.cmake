@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_geo.dir/dns.cpp.o"
+  "CMakeFiles/msim_geo.dir/dns.cpp.o.d"
+  "CMakeFiles/msim_geo.dir/fabric.cpp.o"
+  "CMakeFiles/msim_geo.dir/fabric.cpp.o.d"
+  "CMakeFiles/msim_geo.dir/geo.cpp.o"
+  "CMakeFiles/msim_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/msim_geo.dir/tools.cpp.o"
+  "CMakeFiles/msim_geo.dir/tools.cpp.o.d"
+  "CMakeFiles/msim_geo.dir/whois.cpp.o"
+  "CMakeFiles/msim_geo.dir/whois.cpp.o.d"
+  "libmsim_geo.a"
+  "libmsim_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_net.dir/address.cpp.o"
+  "CMakeFiles/msim_net.dir/address.cpp.o.d"
+  "CMakeFiles/msim_net.dir/netem.cpp.o"
+  "CMakeFiles/msim_net.dir/netem.cpp.o.d"
+  "CMakeFiles/msim_net.dir/node.cpp.o"
+  "CMakeFiles/msim_net.dir/node.cpp.o.d"
+  "CMakeFiles/msim_net.dir/packet.cpp.o"
+  "CMakeFiles/msim_net.dir/packet.cpp.o.d"
+  "libmsim_net.a"
+  "libmsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/catalog.cpp" "src/platform/CMakeFiles/msim_platform.dir/catalog.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/catalog.cpp.o.d"
+  "/root/repo/src/platform/client_app.cpp" "src/platform/CMakeFiles/msim_platform.dir/client_app.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/client_app.cpp.o.d"
+  "/root/repo/src/platform/control.cpp" "src/platform/CMakeFiles/msim_platform.dir/control.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/control.cpp.o.d"
+  "/root/repo/src/platform/deployment.cpp" "src/platform/CMakeFiles/msim_platform.dir/deployment.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/deployment.cpp.o.d"
+  "/root/repo/src/platform/extensions.cpp" "src/platform/CMakeFiles/msim_platform.dir/extensions.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/extensions.cpp.o.d"
+  "/root/repo/src/platform/p2p.cpp" "src/platform/CMakeFiles/msim_platform.dir/p2p.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/p2p.cpp.o.d"
+  "/root/repo/src/platform/relay.cpp" "src/platform/CMakeFiles/msim_platform.dir/relay.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/relay.cpp.o.d"
+  "/root/repo/src/platform/remote_render.cpp" "src/platform/CMakeFiles/msim_platform.dir/remote_render.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/remote_render.cpp.o.d"
+  "/root/repo/src/platform/rtp_relay.cpp" "src/platform/CMakeFiles/msim_platform.dir/rtp_relay.cpp.o" "gcc" "src/platform/CMakeFiles/msim_platform.dir/rtp_relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/avatar/CMakeFiles/msim_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/msim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/msim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/msim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_platform.dir/catalog.cpp.o"
+  "CMakeFiles/msim_platform.dir/catalog.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/client_app.cpp.o"
+  "CMakeFiles/msim_platform.dir/client_app.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/control.cpp.o"
+  "CMakeFiles/msim_platform.dir/control.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/deployment.cpp.o"
+  "CMakeFiles/msim_platform.dir/deployment.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/extensions.cpp.o"
+  "CMakeFiles/msim_platform.dir/extensions.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/p2p.cpp.o"
+  "CMakeFiles/msim_platform.dir/p2p.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/relay.cpp.o"
+  "CMakeFiles/msim_platform.dir/relay.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/remote_render.cpp.o"
+  "CMakeFiles/msim_platform.dir/remote_render.cpp.o.d"
+  "CMakeFiles/msim_platform.dir/rtp_relay.cpp.o"
+  "CMakeFiles/msim_platform.dir/rtp_relay.cpp.o.d"
+  "libmsim_platform.a"
+  "libmsim_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

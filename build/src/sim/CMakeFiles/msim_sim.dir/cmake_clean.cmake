@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/msim_sim.dir/simulator.cpp.o.d"
+  "libmsim_sim.a"
+  "libmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

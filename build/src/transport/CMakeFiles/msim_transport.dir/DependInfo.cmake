@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/http.cpp" "src/transport/CMakeFiles/msim_transport.dir/http.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/http.cpp.o.d"
+  "/root/repo/src/transport/mux.cpp" "src/transport/CMakeFiles/msim_transport.dir/mux.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/mux.cpp.o.d"
+  "/root/repo/src/transport/rtp.cpp" "src/transport/CMakeFiles/msim_transport.dir/rtp.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/rtp.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/msim_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/tls.cpp" "src/transport/CMakeFiles/msim_transport.dir/tls.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/tls.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/msim_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/msim_transport.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/msim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_transport.dir/http.cpp.o"
+  "CMakeFiles/msim_transport.dir/http.cpp.o.d"
+  "CMakeFiles/msim_transport.dir/mux.cpp.o"
+  "CMakeFiles/msim_transport.dir/mux.cpp.o.d"
+  "CMakeFiles/msim_transport.dir/rtp.cpp.o"
+  "CMakeFiles/msim_transport.dir/rtp.cpp.o.d"
+  "CMakeFiles/msim_transport.dir/tcp.cpp.o"
+  "CMakeFiles/msim_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/msim_transport.dir/tls.cpp.o"
+  "CMakeFiles/msim_transport.dir/tls.cpp.o.d"
+  "CMakeFiles/msim_transport.dir/udp.cpp.o"
+  "CMakeFiles/msim_transport.dir/udp.cpp.o.d"
+  "libmsim_transport.a"
+  "libmsim_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

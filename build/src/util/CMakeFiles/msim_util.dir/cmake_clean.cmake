@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_util.dir/rate.cpp.o"
+  "CMakeFiles/msim_util.dir/rate.cpp.o.d"
+  "CMakeFiles/msim_util.dir/stats.cpp.o"
+  "CMakeFiles/msim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/msim_util.dir/table.cpp.o"
+  "CMakeFiles/msim_util.dir/table.cpp.o.d"
+  "CMakeFiles/msim_util.dir/time.cpp.o"
+  "CMakeFiles/msim_util.dir/time.cpp.o.d"
+  "CMakeFiles/msim_util.dir/timeseries.cpp.o"
+  "CMakeFiles/msim_util.dir/timeseries.cpp.o.d"
+  "libmsim_util.a"
+  "libmsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodriver_test.dir/autodriver_test.cpp.o"
+  "CMakeFiles/autodriver_test.dir/autodriver_test.cpp.o.d"
+  "autodriver_test"
+  "autodriver_test.pdb"
+  "autodriver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodriver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

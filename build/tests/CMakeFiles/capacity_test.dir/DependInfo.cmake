@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capacity_test.cpp" "tests/CMakeFiles/capacity_test.dir/capacity_test.cpp.o" "gcc" "tests/CMakeFiles/capacity_test.dir/capacity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/msim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/msim_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/msim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/msim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/msim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

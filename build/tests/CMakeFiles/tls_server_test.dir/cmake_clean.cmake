@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_server_test.dir/tls_server_test.cpp.o"
+  "CMakeFiles/tls_server_test.dir/tls_server_test.cpp.o.d"
+  "tls_server_test"
+  "tls_server_test.pdb"
+  "tls_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_edge_test.dir/toolchain_edge_test.cpp.o"
+  "CMakeFiles/toolchain_edge_test.dir/toolchain_edge_test.cpp.o.d"
+  "toolchain_edge_test"
+  "toolchain_edge_test.pdb"
+  "toolchain_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
