@@ -1,11 +1,40 @@
 // Micro-benchmarks of the simulator substrate itself (google-benchmark):
-// event queue, link transport, TCP bulk transfer, and a full two-user
-// platform scenario — the costs that bound every experiment above.
+// event queue, cancellation churn, relay fan-out, link transport, TCP bulk
+// transfer, and a full two-user platform scenario — the costs that bound
+// every experiment above.
+//
+// This TU replaces global operator new/delete with counting versions so the
+// relay bench can report allocations per forwarded message — the hot-path
+// budget is zero at steady state.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "avatar/codec.hpp"
 #include "core/experiments.hpp"
+#include "platform/relay.hpp"
 #include "transport/tcp.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heapAllocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace msim;
 
@@ -23,6 +52,67 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EventCancelChurn(benchmark::State& state) {
+  // Schedule/cancel storms: timers that almost never fire (retransmission
+  // timers, eviction guards) dominate some workloads. Cancel is O(1) via
+  // the generation-counted slot pool; tombstones drain in run().
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim{1};
+    std::vector<EventId> batch;
+    batch.reserve(64);
+    for (int i = 0; i < events; ++i) {
+      batch.push_back(
+          sim.scheduleAfter(Duration::micros(static_cast<double>(i % 500)), [] {}));
+      if (batch.size() == 64) {
+        for (const EventId& id : batch) sim.cancel(id);
+        batch.clear();
+      }
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventCancelChurn)->Arg(100000);
+
+void BM_RelayBroadcast(benchmark::State& state) {
+  // The §5.1 linear fan-out, isolated from the network: one pose update
+  // forwarded to N-1 detached receivers. Reports steady-state heap
+  // allocations per forward (budget: zero — the shared Message is the only
+  // allocation per *broadcast*, amortized across all receivers).
+  const int users = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  DataSpec spec;  // defaults: no viewport filter, no LoD, no user cap
+  RelayRoom room{sim, spec};
+  room.reserveUsers(static_cast<std::size_t>(users));
+  for (int i = 0; i < users; ++i) {
+    room.joinDetached(1000 + static_cast<std::uint64_t>(i));
+  }
+  Message m;
+  m.kind = avatarmsg::kPoseUpdate;
+  m.size = ByteSize::bytes(220);
+
+  // Warm up: size the slot pool, heap, and per-flow columns.
+  room.broadcast(1000, m);
+  sim.run();
+
+  std::int64_t forwards = 0;
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    const std::uint64_t sender =
+        1000 + static_cast<std::uint64_t>(forwards) % users;
+    room.broadcast(sender, m);
+    sim.run();
+    forwards += users - 1;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(forwards);
+  state.counters["allocs_per_forward"] = benchmark::Counter(
+      forwards > 0 ? static_cast<double>(allocs) / static_cast<double>(forwards)
+                   : 0.0);
+}
+BENCHMARK(BM_RelayBroadcast)->Arg(10)->Arg(100)->Arg(500);
 
 void BM_PeriodicTasks(benchmark::State& state) {
   for (auto _ : state) {

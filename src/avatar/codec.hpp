@@ -12,11 +12,12 @@
 namespace msim {
 
 /// Message kinds produced by the codec (ground-truth tags; the capture layer
-/// never reads them — payloads are "encrypted" as in the paper).
+/// never reads them — payloads are "encrypted" as in the paper). Interned
+/// once so per-message kind handling is pointer-sized and pointer-compared.
 namespace avatarmsg {
-inline constexpr const char* kPoseUpdate = "avatar:pose";
-inline constexpr const char* kExpression = "avatar:expression";
-inline constexpr const char* kVoiceFrame = "voice:frame";
+inline const MsgKind kPoseUpdate{"avatar:pose"};
+inline const MsgKind kExpression{"avatar:expression"};
+inline const MsgKind kVoiceFrame{"voice:frame"};
 }  // namespace avatarmsg
 
 /// Encodes one user's avatar stream.

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/seedsweep.hpp"
+
 namespace msim {
 
 namespace {
-
-/// Seeds for "averaged over more than 20 experiments" (§3.2).
-std::uint64_t seedFor(int run) { return 1000 + static_cast<std::uint64_t>(run) * 7919; }
 
 TestUserConfig chatUser() {
   TestUserConfig cfg;
@@ -48,11 +47,15 @@ void arrangeUsersForSweep(Testbed& bed) {
 // ---------------------------------------------------------------- Table 3
 
 TwoUserThroughputRow runTwoUserThroughput(const PlatformSpec& spec, int seeds) {
-  RunningStats up;
-  RunningStats down;
-  RunningStats avatar;
-  for (int run = 0; run < seeds; ++run) {
-    Testbed bed{seedFor(run)};
+  struct RunResult {
+    double upKbps{0.0};
+    double downKbps{0.0};
+    double avatarKbps{0.0};
+  };
+  // Independent runs execute on the seed-sweep pool; the reduction below is
+  // serial and in seed order, so results match a single-threaded sweep.
+  const auto runs = runSeedSweep(defaultSeeds(seeds), [&spec](std::uint64_t seed) {
+    Testbed bed{seed};
     bed.deploy(spec);
     TestUser& u1 = bed.addUser(chatUser());
     TestUser& u2 = bed.addUser(chatUser());
@@ -72,9 +75,19 @@ TwoUserThroughputRow runTwoUserThroughput(const PlatformSpec& spec, int seeds) {
     const auto& cap = *u1.capture;
     const double tAlone = cap.meanRate(Channel::DataDown, 15, 40).toKbps();
     const double tBoth = cap.meanRate(Channel::DataDown, 55, 115).toKbps();
-    up.add(cap.meanRate(Channel::DataUp, 55, 115).toKbps());
-    down.add(tBoth);
-    avatar.add(tBoth - tAlone);
+    RunResult r;
+    r.upKbps = cap.meanRate(Channel::DataUp, 55, 115).toKbps();
+    r.downKbps = tBoth;
+    r.avatarKbps = tBoth - tAlone;
+    return r;
+  });
+  RunningStats up;
+  RunningStats down;
+  RunningStats avatar;
+  for (const RunResult& r : runs) {
+    up.add(r.upKbps);
+    down.add(r.downKbps);
+    avatar.add(r.avatarKbps);
   }
   TwoUserThroughputRow row;
   row.platform = spec.name;
@@ -199,6 +212,45 @@ JoinTimeline runJoinTimeline(const PlatformSpec& spec, Fig6Variant variant,
 
 SweepPoint runUsersSweepPoint(const PlatformSpec& spec, int users, int seeds,
                               Duration measureFor) {
+  struct RunResult {
+    double downMbps{0.0};
+    double upMbps{0.0};
+    MetricsSample avg;
+    double batteryDropPct{0.0};
+  };
+  const auto runs = runSeedSweep(
+      defaultSeeds(seeds), [&spec, users, measureFor](std::uint64_t seed) {
+        Testbed bed{seed};
+        bed.deploy(spec);
+        for (int i = 0; i < users; ++i) bed.addUser(chatUser());
+        arrangeUsersForSweep(bed);
+
+        bed.sim().schedule(TimePoint::epoch(), [&] {
+          for (auto& u : bed.users()) u->client->launch();
+        });
+        for (int i = 0; i < users; ++i) {
+          bed.sim().schedule(TimePoint::epoch() + Duration::seconds(2) +
+                                 Duration::millis(500.0 * i),
+                             [&, i] { bed.user(i).client->joinEvent(); });
+        }
+        const double settleSec = 2.0 + 0.5 * users + 8.0;
+        const TimePoint from = TimePoint::epoch() + Duration::seconds(settleSec);
+        const TimePoint to = from + measureFor;
+        bed.sim().runFor(Duration::seconds(settleSec) + measureFor);
+
+        auto& u1 = bed.user(0);
+        const auto firstBin = static_cast<std::size_t>(settleSec);
+        const auto lastBin =
+            static_cast<std::size_t>(settleSec + measureFor.toSeconds()) - 1;
+        RunResult r;
+        r.downMbps =
+            u1.capture->meanRate(Channel::DataDown, firstBin, lastBin).toMbps();
+        r.upMbps =
+            u1.capture->meanRate(Channel::DataUp, firstBin, lastBin).toMbps();
+        r.avg = u1.headset->metrics().averageOver(from, to);
+        r.batteryDropPct = 100.0 - u1.headset->metrics().batteryPct();
+        return r;
+      });
   RunningStats down;
   RunningStats upStats;
   RunningStats fps;
@@ -206,36 +258,14 @@ SweepPoint runUsersSweepPoint(const PlatformSpec& spec, int users, int seeds,
   RunningStats gpu;
   RunningStats mem;
   RunningStats battery;
-  for (int run = 0; run < seeds; ++run) {
-    Testbed bed{seedFor(run)};
-    bed.deploy(spec);
-    for (int i = 0; i < users; ++i) bed.addUser(chatUser());
-    arrangeUsersForSweep(bed);
-
-    bed.sim().schedule(TimePoint::epoch(), [&] {
-      for (auto& u : bed.users()) u->client->launch();
-    });
-    for (int i = 0; i < users; ++i) {
-      bed.sim().schedule(TimePoint::epoch() + Duration::seconds(2) +
-                             Duration::millis(500.0 * i),
-                         [&, i] { bed.user(i).client->joinEvent(); });
-    }
-    const double settleSec = 2.0 + 0.5 * users + 8.0;
-    const TimePoint from = TimePoint::epoch() + Duration::seconds(settleSec);
-    const TimePoint to = from + measureFor;
-    bed.sim().runFor(Duration::seconds(settleSec) + measureFor);
-
-    auto& u1 = bed.user(0);
-    const auto firstBin = static_cast<std::size_t>(settleSec);
-    const auto lastBin = static_cast<std::size_t>(settleSec + measureFor.toSeconds()) - 1;
-    down.add(u1.capture->meanRate(Channel::DataDown, firstBin, lastBin).toMbps());
-    upStats.add(u1.capture->meanRate(Channel::DataUp, firstBin, lastBin).toMbps());
-    const MetricsSample avg = u1.headset->metrics().averageOver(from, to);
-    fps.add(avg.fps);
-    cpu.add(avg.cpuUtilPct);
-    gpu.add(avg.gpuUtilPct);
-    mem.add(avg.memoryGB);
-    battery.add(100.0 - u1.headset->metrics().batteryPct());
+  for (const RunResult& r : runs) {
+    down.add(r.downMbps);
+    upStats.add(r.upMbps);
+    fps.add(r.avg.fps);
+    cpu.add(r.avg.cpuUtilPct);
+    gpu.add(r.avg.gpuUtilPct);
+    mem.add(r.avg.memoryGB);
+    battery.add(r.batteryDropPct);
   }
   SweepPoint p;
   p.users = users;
@@ -257,9 +287,9 @@ SweepPoint runUsersSweepPoint(const PlatformSpec& spec, int users, int seeds,
 
 LatencyRow runLatencyExperiment(const PlatformSpec& spec, int users, int probes,
                                 int seeds) {
-  LatencyStats merged;
-  for (int run = 0; run < seeds; ++run) {
-    Testbed bed{seedFor(run)};
+  const auto runs = runSeedSweep(
+      defaultSeeds(seeds), [&spec, users, probes](std::uint64_t seed) {
+    Testbed bed{seed};
     bed.deploy(spec);
     for (int i = 0; i < users; ++i) bed.addUser(chatUser());
     // U1 and U2 face each other up close (their fingers touch); extras
@@ -290,7 +320,10 @@ LatencyRow runLatencyExperiment(const PlatformSpec& spec, int users, int probes,
     bed.sim().runFor((firstProbe - TimePoint::epoch()) +
                      Duration::seconds(2.0 * probes + 5));
 
-    const LatencyStats stats = probe.collect();
+    return probe.collect();
+  });
+  LatencyStats merged;
+  for (const LatencyStats& stats : runs) {
     merged.e2e.merge(stats.e2e);
     merged.sender.merge(stats.sender);
     merged.server.merge(stats.server);

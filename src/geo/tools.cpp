@@ -1,6 +1,7 @@
 #include "geo/tools.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "transport/tcp.hpp"
 
@@ -10,8 +11,10 @@ namespace msim {
 
 namespace {
 std::uint16_t nextPingIdent() {
-  static std::uint16_t counter = 0;
-  return ++counter;
+  // Idents are compared for equality only; an atomic keeps concurrent
+  // seed-sweep sims from racing (cross-sim uniqueness is not required).
+  static std::atomic<std::uint16_t> counter{0};
+  return static_cast<std::uint16_t>(counter.fetch_add(1) + 1);
 }
 }  // namespace
 
@@ -49,7 +52,6 @@ void PingTool::ping(Ipv4Address target, int count, DoneHandler done,
     node_.sim().scheduleAfter(interval * static_cast<double>(i), [this, run, seq] {
       if (run->finished) return;
       Packet probe;
-      probe.uid = nextPacketUid();
       probe.dst = run->target;
       probe.proto = IpProto::Icmp;
       probe.overheadBytes = wire::kEthIpIcmp;
@@ -152,7 +154,6 @@ void TracerouteTool::sendNextProbe(const std::shared_ptr<Trace>& t) {
   t->awaiting = true;
 
   Packet probe;
-  probe.uid = nextPacketUid();
   probe.dst = t->target;
   probe.dstPort = t->probePort;
   probe.srcPort = 33000;

@@ -1,13 +1,14 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace msim {
 
 std::uint64_t nextPacketUid() {
-  static std::uint64_t counter = 0;
-  return ++counter;
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 // ---------------------------------------------------------------- NetDevice
@@ -127,7 +128,9 @@ NetDevice* Node::route(Ipv4Address dst) const {
 
 void Node::sendFromLocal(Packet p) {
   if (p.src.isUnspecified()) p.src = primaryAddress();
-  if (p.uid == 0) p.uid = nextPacketUid();
+  // Uid assignment is per-simulation (not process-global) so concurrent
+  // seed-sweep runs stay byte-identical to serial ones.
+  if (p.uid == 0) p.uid = sim().nextId();
   if (ownsAddress(p.dst)) {
     // Loopback delivery, e.g. a locally-hosted private Hubs server.
     handleLocal(std::move(p));
@@ -154,7 +157,6 @@ void Node::handleLocal(Packet p) {
     const IcmpHeader* icmp = p.icmp();
     if (icmp != nullptr && icmp->type == IcmpType::EchoRequest && icmpEchoEnabled_) {
       Packet reply;
-      reply.uid = nextPacketUid();
       reply.src = p.dst;
       reply.dst = p.src;
       reply.proto = IpProto::Icmp;
@@ -190,7 +192,6 @@ void Node::forward(Packet p) {
 
 void Node::sendIcmpTimeExceeded(const Packet& expired) {
   Packet msg;
-  msg.uid = nextPacketUid();
   msg.src = primaryAddress();
   msg.dst = expired.src;
   msg.proto = IpProto::Icmp;

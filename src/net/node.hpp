@@ -186,6 +186,8 @@ class Network {
 };
 
 /// Process-unique packet id source (ids are diagnostics, not behaviour).
+/// Thread-safe; internal senders use the per-simulation Simulator::nextId()
+/// instead so runs stay hermetic under the parallel seed sweep.
 [[nodiscard]] std::uint64_t nextPacketUid();
 
 }  // namespace msim

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "util/intern.hpp"
 #include "util/rate.hpp"
 #include "util/time.hpp"
 
@@ -53,10 +54,12 @@ struct IcmpHeader {
 
 /// Application-level message descriptor attached to datagrams (and to the
 /// sender side of TCP streams). `kind` identifies the app semantic
-/// ("avatar-update", "voice", "client-report", ...). `actionId` carries the
-/// latency-probe marker (a user-visible action), 0 if none.
+/// ("avatar-update", "voice", "client-report", ...) as an interned symbol:
+/// copying a Message is allocation-free and kind dispatch is a pointer
+/// compare. `actionId` carries the latency-probe marker (a user-visible
+/// action), 0 if none.
 struct Message {
-  std::string kind;
+  MsgKind kind;
   ByteSize size;
   std::uint64_t senderId{0};
   std::uint64_t sequence{0};

@@ -7,14 +7,6 @@ namespace msim {
 
 namespace {
 
-/// Deterministic process-wide host-octet allocator (addresses are identity,
-/// not behaviour).
-std::uint8_t nextHostOctet() {
-  static int counter = 9;
-  counter = counter >= 250 ? 10 : counter + 1;
-  return static_cast<std::uint8_t>(counter);
-}
-
 int regionOctet(const Region& r) {
   if (r.name == "us-east") return 1;
   if (r.name == "us-west") return 2;
@@ -47,6 +39,11 @@ const Region& nearestOf(const std::vector<Region>& candidates,
 }
 
 }  // namespace
+
+std::uint8_t PlatformDeployment::nextHostOctet() {
+  hostOctetCounter_ = hostOctetCounter_ >= 250 ? 10 : hostOctetCounter_ + 1;
+  return static_cast<std::uint8_t>(hostOctetCounter_);
+}
 
 Ipv4Address PlatformDeployment::providerAddress(const std::string& owner,
                                                 const Region& region,

@@ -78,12 +78,17 @@ class PlatformDeployment {
                                             const Region& region, int host) const;
   void buildControl(InternetFabric& fabric);
   void buildData(InternetFabric& fabric);
+  /// Deterministic per-deployment host-octet allocator (addresses are
+  /// identity, not behaviour). Instance-scoped so concurrent seed-sweep
+  /// runs assign identical addresses regardless of thread interleaving.
+  std::uint8_t nextHostOctet();
 
   Simulator& sim_;
   Network& net_;
   PlatformSpec spec_;
   std::vector<Region> regions_;
   std::shared_ptr<RelayRoom> room_;
+  int hostOctetCounter_{9};
 
   std::vector<ControlSite> controlSites_;
   std::vector<DataReplica> dataReplicas_;

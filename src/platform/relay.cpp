@@ -13,47 +13,108 @@ constexpr double kInterReplicaMs = 0.3;
 
 // ---------------------------------------------------------------- RelayRoom
 
-bool RelayRoom::join(std::uint64_t userId, RelayServer& home) {
-  if (spec_.maxEventUsers > 0 && users_.count(userId) == 0 &&
+void RelayRoom::reserveUsers(std::size_t users) {
+  users_.reserve(users);
+  index_.reserve(users * 2);
+}
+
+RelayRoom::UserState* RelayRoom::find(std::uint64_t userId) {
+  const auto it = index_.find(userId);
+  return it == index_.end() ? nullptr : &users_[it->second];
+}
+
+void RelayRoom::reindexFrom(std::size_t from) {
+  for (std::size_t i = from; i < users_.size(); ++i) {
+    index_[users_[i].id] = static_cast<std::uint32_t>(i);
+  }
+}
+
+bool RelayRoom::joinImpl(std::uint64_t userId, RelayServer* home) {
+  if (UserState* existing = find(userId)) {
+    // Re-join resets the user's own state; peers keep their per-sender
+    // decimation counters and flow clocks for this sender.
+    std::vector<std::uint32_t> lod = std::move(existing->lodCounters);
+    std::vector<TimePoint> flow = std::move(existing->flowNextOut);
+    std::fill(lod.begin(), lod.end(), 0u);
+    std::fill(flow.begin(), flow.end(), TimePoint::epoch());
+    *existing = UserState{};
+    existing->id = userId;
+    existing->home = home;
+    existing->lastActivity = sim_.now();
+    existing->lodCounters = std::move(lod);
+    existing->flowNextOut = std::move(flow);
+    return true;
+  }
+  if (spec_.maxEventUsers > 0 &&
       static_cast<int>(users_.size()) >= spec_.maxEventUsers) {
     return false;  // event full (§6.2: Worlds caps at 16)
   }
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(users_.begin(), users_.end(), userId,
+                       [](const UserState& u, std::uint64_t id) { return u.id < id; }) -
+      users_.begin());
+  // Open the new sender's column in every existing user's flat state.
+  for (UserState& u : users_) {
+    u.lodCounters.insert(u.lodCounters.begin() + static_cast<std::ptrdiff_t>(pos), 0u);
+    u.flowNextOut.insert(u.flowNextOut.begin() + static_cast<std::ptrdiff_t>(pos),
+                         TimePoint::epoch());
+  }
   UserState state;
-  state.home = &home;
+  state.id = userId;
+  state.home = home;
   state.lastActivity = sim_.now();
-  users_[userId] = std::move(state);
+  users_.insert(users_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(state));
+  users_[pos].lodCounters.assign(users_.size(), 0u);
+  users_[pos].flowNextOut.assign(users_.size(), TimePoint::epoch());
+  reindexFrom(pos);
   return true;
 }
 
-void RelayRoom::leave(std::uint64_t userId) { users_.erase(userId); }
+bool RelayRoom::join(std::uint64_t userId, RelayServer& home) {
+  return joinImpl(userId, &home);
+}
+
+bool RelayRoom::joinDetached(std::uint64_t userId) {
+  return joinImpl(userId, nullptr);
+}
+
+void RelayRoom::leave(std::uint64_t userId) {
+  const auto it = index_.find(userId);
+  if (it == index_.end()) return;
+  const std::size_t pos = it->second;
+  users_.erase(users_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (UserState& u : users_) {
+    u.lodCounters.erase(u.lodCounters.begin() + static_cast<std::ptrdiff_t>(pos));
+    u.flowNextOut.erase(u.flowNextOut.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  index_.erase(it);
+  reindexFrom(pos);
+}
 
 void RelayRoom::noteActivity(std::uint64_t userId) {
-  const auto it = users_.find(userId);
-  if (it != users_.end()) it->second.lastActivity = sim_.now();
+  if (UserState* u = find(userId)) u->lastActivity = sim_.now();
 }
 
 void RelayRoom::startEvictionSweep(Duration timeout) {
   evictionTimeout_ = timeout;
   evictionTask_ = std::make_unique<PeriodicTask>(sim_, Duration::seconds(5), [this] {
-    for (auto it = users_.begin(); it != users_.end();) {
-      if (sim_.now() - it->second.lastActivity > evictionTimeout_) {
-        it = users_.erase(it);
-      } else {
-        ++it;
-      }
+    // Collect first: leave() shifts the dense vector.
+    std::vector<std::uint64_t> evict;
+    for (const UserState& u : users_) {
+      if (sim_.now() - u.lastActivity > evictionTimeout_) evict.push_back(u.id);
     }
+    for (const std::uint64_t id : evict) leave(id);
   });
 }
 
 void RelayRoom::updatePose(std::uint64_t userId, const Pose& pose) {
-  const auto it = users_.find(userId);
-  if (it == users_.end()) return;
-  UserState& u = it->second;
-  u.prevPose = u.pose;
-  u.prevPoseAt = u.poseAt;
-  u.pose = pose;
-  u.poseAt = sim_.now();
-  u.poseKnown = true;
+  UserState* u = find(userId);
+  if (u == nullptr) return;
+  u->prevPose = u->pose;
+  u->prevPoseAt = u->poseAt;
+  u->pose = pose;
+  u->poseAt = sim_.now();
+  u->poseKnown = true;
 }
 
 double RelayRoom::predictYawDeg(const UserState& user, double leadMs) {
@@ -79,19 +140,26 @@ Duration RelayRoom::sampleProcessingDelay() {
 }
 
 void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
-  const auto fromIt = users_.find(fromUser);
-  if (fromIt == users_.end()) return;
-  const UserState& sender = fromIt->second;
+  const auto fromIt = index_.find(fromUser);
+  if (fromIt == index_.end()) return;
+  const std::uint32_t senderIdx = fromIt->second;
+  const UserState& sender = users_[senderIdx];
+  const bool isPose = m.kind == avatarmsg::kPoseUpdate;
 
-  for (auto& [userId, receiver] : users_) {
-    if (userId == fromUser) continue;
+  // One immutable copy shared by every receiver's forward — the only heap
+  // allocation on the whole fan-out, amortized over N-1 forwards.
+  const auto shared = std::make_shared<const Message>(m);
+  const TimePoint inTime = sim_.now();
+
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    if (i == senderIdx) continue;
+    UserState& receiver = users_[i];
 
     // AltspaceVR's server-side viewport filter (§6.1): forward avatar data
     // only if the sender's avatar lies inside the receiver's ~150° wedge —
     // evaluated against the receiver's *predicted* facing direction when a
     // prediction lead is configured. Keepalives/misc pass through.
-    if (spec_.viewportFilter && m.kind == avatarmsg::kPoseUpdate &&
-        receiver.poseKnown && sender.poseKnown) {
+    if (spec_.viewportFilter && isPose && receiver.poseKnown && sender.poseKnown) {
       Pose viewpoint = receiver.pose;
       viewpoint.yawDeg = predictYawDeg(receiver, spec_.viewportPredictionLeadMs);
       if (!inViewport(viewpoint, sender.pose.x, sender.pose.y,
@@ -103,8 +171,7 @@ void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
 
     // Distance-based interest management (§6.2 ablation): updates from
     // far-away senders are decimated rather than dropped entirely.
-    if (spec_.interestLod && m.kind == avatarmsg::kPoseUpdate &&
-        receiver.poseKnown && sender.poseKnown) {
+    if (spec_.interestLod && isPose && receiver.poseKnown && sender.poseKnown) {
       const double dist = receiver.pose.distanceTo(sender.pose);
       std::uint32_t keepEvery = 1;
       if (dist > spec_.lodFarRadius) {
@@ -113,7 +180,7 @@ void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
         keepEvery = 2;
       }
       if (keepEvery > 1) {
-        std::uint32_t& counter = receiver.lodCounters[fromUser];
+        std::uint32_t& counter = receiver.lodCounters[senderIdx];
         if (++counter % keepEvery != 0) {
           lodFiltered_ += m.size;
           continue;
@@ -127,20 +194,17 @@ void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
 
     // Per-flow FIFO: never let a later message overtake an earlier one.
     TimePoint outAt = sim_.now() + delay;
-    TimePoint& nextOut = flowNextOut_[{fromUser, userId}];
+    TimePoint& nextOut = receiver.flowNextOut[senderIdx];
     if (outAt < nextOut) outAt = nextOut;
     nextOut = outAt + Duration::micros(1);
 
     RelayServer* home = receiver.home;
-    const std::uint64_t target = userId;
-    const TimePoint inTime = sim_.now();
-    Message copy = m;
-    sim_.schedule(outAt, [this, home, target, copy = std::move(copy),
-                          inTime]() mutable {
-      if (copy.actionId != 0 && hooks_.onActionForwarded) {
-        hooks_.onActionForwarded(copy.actionId, target, inTime, sim_.now());
+    const std::uint64_t target = receiver.id;
+    sim_.schedule(outAt, [this, home, target, msg = shared, inTime] {
+      if (msg->actionId != 0 && hooks_.onActionForwarded) {
+        hooks_.onActionForwarded(msg->actionId, target, inTime, sim_.now());
       }
-      home->deliverToUser(target, copy);
+      if (home != nullptr) home->deliverToUser(target, msg);
     });
   }
 }
@@ -240,17 +304,21 @@ void RelayServer::handleMessage(std::uint64_t senderId, const Message& m,
 }
 
 void RelayServer::deliverToUser(std::uint64_t userId, const Message& m) {
+  deliverToUser(userId, std::make_shared<const Message>(m));
+}
+
+void RelayServer::deliverToUser(std::uint64_t userId,
+                                const std::shared_ptr<const Message>& m) {
   if (udp_ != nullptr) {
     const auto it = udpUsers_.find(userId);
     if (it == udpUsers_.end()) return;
-    auto copy = std::make_shared<Message>(m);
-    udp_->sendTo(it->second, m.size, std::move(copy));
+    udp_->sendTo(it->second, m->size, m);
     return;
   }
   if (tls_ != nullptr) {
     const auto it = tlsUsers_.find(userId);
     if (it == tlsUsers_.end()) return;
-    tls_->sendTo(it->second, m);
+    tls_->sendTo(it->second, *m);
   }
 }
 

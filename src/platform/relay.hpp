@@ -13,10 +13,13 @@
 // different users different server addresses, §4.2); replicas share room
 // state with a small intra-site forwarding delay.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "avatar/motion.hpp"
 #include "avatar/viewport.hpp"
@@ -28,14 +31,14 @@ namespace msim {
 
 /// Message kinds on the data channel (beyond avatar/codec kinds).
 namespace relaymsg {
-inline constexpr const char* kJoin = "relay:join";
-inline constexpr const char* kJoinOk = "relay:join-ok";
-inline constexpr const char* kJoinDenied = "relay:join-denied";
-inline constexpr const char* kLeave = "relay:leave";
-inline constexpr const char* kKeepalive = "relay:keepalive";
-inline constexpr const char* kMiscState = "relay:misc";
-inline constexpr const char* kClientStatus = "relay:client-status";
-inline constexpr const char* kGameState = "relay:game";
+inline const MsgKind kJoin{"relay:join"};
+inline const MsgKind kJoinOk{"relay:join-ok"};
+inline const MsgKind kJoinDenied{"relay:join-denied"};
+inline const MsgKind kLeave{"relay:leave"};
+inline const MsgKind kKeepalive{"relay:keepalive"};
+inline const MsgKind kMiscState{"relay:misc"};
+inline const MsgKind kClientStatus{"relay:client-status"};
+inline const MsgKind kGameState{"relay:game"};
 }  // namespace relaymsg
 
 class RelayServer;
@@ -60,6 +63,10 @@ class RelayRoom {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] RelayProbeHooks& hooks() { return hooks_; }
 
+  /// Pre-sizes the id→index table for `users` (join stays rehash-free up to
+  /// that count). Called by deployments that know the expected event size.
+  void reserveUsers(std::size_t users);
+
   /// Total bytes the room refused to forward due to the viewport filter.
   [[nodiscard]] ByteSize viewportFilteredBytes() const { return filtered_; }
   /// Total bytes decimated by distance-based interest management.
@@ -69,6 +76,10 @@ class RelayRoom {
   // Internal API used by RelayServer.
   /// False when the event is at its user cap (§6.2).
   bool join(std::uint64_t userId, RelayServer& home);
+  /// Detached join (no replica): room bookkeeping and broadcast fan-out run
+  /// normally but nothing is delivered. Used by benches and tests that
+  /// measure the room logic without a network.
+  bool joinDetached(std::uint64_t userId);
   void leave(std::uint64_t userId);
   void updatePose(std::uint64_t userId, const Pose& pose);
   void noteActivity(std::uint64_t userId);
@@ -80,7 +91,14 @@ class RelayRoom {
   void broadcast(std::uint64_t fromUser, const Message& m);
 
  private:
+  // Room state is a dense vector sorted by user id: broadcast() walks it
+  // linearly (cache-friendly, no node-based lookups), and per-sender state
+  // (LoD decimation counters, per-flow FIFO egress clocks) lives in flat
+  // columns indexed by the sender's position in that vector. Joins/leaves
+  // shift the columns to keep them aligned — O(n) work on the rare
+  // membership path buys O(1) access on the per-forward path.
   struct UserState {
+    std::uint64_t id{0};
     RelayServer* home{nullptr};
     Pose pose;
     bool poseKnown{false};
@@ -89,8 +107,11 @@ class RelayRoom {
     Pose prevPose;
     TimePoint poseAt;
     TimePoint prevPoseAt;
-    // Per-sender decimation counters for interest LoD.
-    std::map<std::uint64_t, std::uint32_t> lodCounters;
+    // Per-sender decimation counters for interest LoD (column: sender index).
+    std::vector<std::uint32_t> lodCounters;
+    // Per (sender → this user) FIFO egress clock: a real relay's per-flow
+    // queues never reorder one user's stream to another.
+    std::vector<TimePoint> flowNextOut;
   };
 
   /// The receiver's facing direction, extrapolated `leadMs` into the future
@@ -99,16 +120,19 @@ class RelayRoom {
 
   [[nodiscard]] Duration sampleProcessingDelay();
 
+  [[nodiscard]] UserState* find(std::uint64_t userId);
+  bool joinImpl(std::uint64_t userId, RelayServer* home);
+  /// Rebuilds index_ entries for users at positions [from, end).
+  void reindexFrom(std::size_t from);
+
   Simulator& sim_;
   DataSpec spec_;
   RelayProbeHooks hooks_;
-  std::map<std::uint64_t, UserState> users_;
+  std::vector<UserState> users_;  // sorted by id
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
   ByteSize filtered_;
   ByteSize lodFiltered_;
   ByteSize forwarded_;
-  // Per (sender, receiver) FIFO egress clocks: a real relay's per-flow
-  // queues never reorder one user's stream to another.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, TimePoint> flowNextOut_;
   std::unique_ptr<PeriodicTask> evictionTask_;
   Duration evictionTimeout_ = Duration::seconds(15);
 };
@@ -134,6 +158,10 @@ class RelayServer {
 
   /// Sends a message to a locally-homed user (called by the room).
   void deliverToUser(std::uint64_t userId, const Message& m);
+  /// Fan-out delivery: shares one immutable Message across all receivers of
+  /// a broadcast instead of reallocating a copy per forward.
+  void deliverToUser(std::uint64_t userId,
+                     const std::shared_ptr<const Message>& m);
 
   /// Starts the per-user misc/state downlink at the spec's rate.
   void startMiscDownlink();

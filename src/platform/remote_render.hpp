@@ -83,8 +83,8 @@ class RemoteRenderClient {
 };
 
 namespace rrmsg {
-inline constexpr const char* kPose = "rr:pose";
-inline constexpr const char* kVideoFrame = "rr:frame";
+inline const MsgKind kPose{"rr:pose"};
+inline const MsgKind kVideoFrame{"rr:frame"};
 }  // namespace rrmsg
 
 }  // namespace msim

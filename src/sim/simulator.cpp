@@ -5,12 +5,164 @@
 
 namespace msim {
 
+namespace {
+constexpr std::size_t kHeapArity = 4;
+
+// Finalizer-quality 64-bit mix (Murmur3 fmix64): timestamps are highly
+// regular (multiples of a tick), so the low bits need the full avalanche.
+std::size_t hashTime(std::int64_t ns) {
+  auto x = static_cast<std::uint64_t>(ns);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+}  // namespace
+
+void Simulator::siftUp(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (e.timeNs >= heap_[parent].timeNs) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::siftDown(std::size_t i) {
+  // Bottom-up deletion: sink the hole to a leaf choosing the min child at
+  // each level (no compares against the displaced element, which nearly
+  // always belongs back near the leaves), then bubble the displaced element
+  // up the hole's path. Saves ~half the comparisons of the classic
+  // compare-down on large heaps.
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  std::size_t hole = i;
+  for (;;) {
+    const std::size_t first = hole * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].timeNs < heap_[best].timeNs) best = c;
+    }
+    __builtin_prefetch(&heap_[std::min(best * kHeapArity + 1, n - 1)]);
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > i) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (e.timeNs >= heap_[parent].timeNs) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void Simulator::growTimeMap() {
+  const std::size_t newSize = timeMap_.empty() ? 64 : timeMap_.size() * 2;
+  std::vector<TimeCell> old = std::move(timeMap_);
+  timeMap_.assign(newSize, TimeCell{kEmptyTime, 0});
+  const std::size_t mask = newSize - 1;
+  for (const TimeCell& c : old) {
+    if (c.timeNs == kEmptyTime) continue;
+    std::size_t i = hashTime(c.timeNs) & mask;
+    while (timeMap_[i].timeNs != kEmptyTime) i = (i + 1) & mask;
+    timeMap_[i] = c;
+  }
+}
+
+std::uint32_t Simulator::bucketFor(std::int64_t timeNs) {
+  if ((timeMapUsed_ + 1) * 4 >= timeMap_.size() * 3) growTimeMap();
+  const std::size_t mask = timeMap_.size() - 1;
+  std::size_t i = hashTime(timeNs) & mask;
+  for (;;) {
+    TimeCell& cell = timeMap_[i];
+    if (cell.timeNs == timeNs) return cell.bucket;
+    if (cell.timeNs == kEmptyTime) {
+      std::uint32_t index;
+      if (!freeBuckets_.empty()) {
+        index = freeBuckets_.back();
+        freeBuckets_.pop_back();
+      } else {
+        index = static_cast<std::uint32_t>(buckets_.size());
+        buckets_.emplace_back();
+      }
+      cell.timeNs = timeNs;
+      cell.bucket = index;
+      ++timeMapUsed_;
+      heap_.push_back(HeapEntry{timeNs, index});
+      siftUp(heap_.size() - 1);
+      return index;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void Simulator::releaseBucket(std::uint32_t index) {
+  Bucket& b = buckets_[index];
+  b.head = 0;
+  b.count = 0;
+  b.more.clear();  // keeps capacity — steady-state appends never allocate
+  freeBuckets_.push_back(index);
+}
+
+void Simulator::eraseTime(std::int64_t timeNs) {
+  const std::size_t mask = timeMap_.size() - 1;
+  std::size_t hole = hashTime(timeNs) & mask;
+  while (timeMap_[hole].timeNs != timeNs) hole = (hole + 1) & mask;
+  // Backward-shift deletion: keeps probe chains intact without tombstones.
+  for (std::size_t j = (hole + 1) & mask; timeMap_[j].timeNs != kEmptyTime;
+       j = (j + 1) & mask) {
+    const std::size_t home = hashTime(timeMap_[j].timeNs) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      timeMap_[hole] = timeMap_[j];
+      hole = j;
+    }
+  }
+  timeMap_[hole].timeNs = kEmptyTime;
+  --timeMapUsed_;
+}
+
+std::uint32_t Simulator::acquireSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t index = freeSlots_.back();
+    freeSlots_.pop_back();
+    return index;
+  }
+  if (slotCount_ == slotChunks_.size() * kSlotChunkSize) {
+    slotChunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  }
+  return slotCount_++;
+}
+
+void Simulator::releaseSlot(std::uint32_t index) {
+  Slot& slot = slotAt(index);
+  slot.live = false;
+  ++slot.generation;  // kills outstanding EventIds and stale heap entries
+  slot.cb.reset();
+  freeSlots_.push_back(index);
+}
+
 EventId Simulator::schedule(TimePoint t, Callback cb) {
   if (t < now_) t = now_;
-  auto record = std::make_shared<EventId::Record>();
-  queue_.push_back(Entry{t, nextSeq_++, std::move(cb), record});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-  return EventId{std::move(record)};
+  const std::uint32_t index = acquireSlot();
+  Slot& slot = slotAt(index);
+  slot.live = true;
+  slot.cb = std::move(cb);
+  Bucket& b = buckets_[bucketFor(t.toNanos())];
+  if (b.count == 0) {
+    b.first = BucketRef{index, slot.generation};
+  } else {
+    b.more.push_back(BucketRef{index, slot.generation});
+  }
+  ++b.count;
+  ++liveEvents_;
+  ++pendingEntries_;
+  return EventId{this, index, slot.generation};
 }
 
 EventId Simulator::scheduleAfter(Duration delay, Callback cb) {
@@ -19,28 +171,51 @@ EventId Simulator::scheduleAfter(Duration delay, Callback cb) {
 }
 
 void Simulator::cancel(const EventId& id) {
-  if (auto rec = id.record_.lock()) rec->cancelled = true;
+  if (id.sim_ != this || !id.valid()) return;
+  releaseSlot(id.slot_);
+  --liveEvents_;
 }
 
 std::size_t Simulator::run(TimePoint limit) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    if (queue_.front().time > limit) break;
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Entry entry = std::move(queue_.back());
-    queue_.pop_back();
-    if (entry.record->cancelled) continue;
-    now_ = entry.time;
-    entry.cb();
-    ++executed;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    const TimePoint time = TimePoint::fromNanos(top.timeNs);
+    if (time > limit) break;
+    // Drain the bucket FIFO. Callbacks may schedule more events at this
+    // exact time — they append to this same bucket (the map entry is still
+    // present) and fire in this loop, preserving scheduling order. They may
+    // also grow buckets_, so the reference is refetched every iteration.
+    for (;;) {
+      Bucket& b = buckets_[top.bucket];
+      if (b.head == b.count) break;
+      const BucketRef ref = b.head == 0 ? b.first : b.more[b.head - 1];
+      ++b.head;
+      --pendingEntries_;
+      Slot& slot = slotAt(ref.slot);
+      if (slot.generation != ref.gen || !slot.live) continue;  // cancelled
+      now_ = time;
+      // Retire the slot before invoking — valid() reads false and cancel()
+      // is a no-op while the callback runs — but keep it off the free list
+      // until afterwards, so the callback executes in place (slot addresses
+      // are stable) without being recycled under its own feet.
+      slot.live = false;
+      ++slot.generation;
+      --liveEvents_;
+      slot.cb();
+      slot.cb.reset();
+      freeSlots_.push_back(ref.slot);
+      ++executed;
+      ++executed_;
+    }
+    releaseBucket(top.bucket);
+    eraseTime(top.timeNs);
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
   }
   if (limit != TimePoint::max() && now_ < limit) now_ = limit;
   return executed;
-}
-
-bool Simulator::idle() const {
-  return std::all_of(queue_.begin(), queue_.end(),
-                     [](const Entry& e) { return e.record->cancelled; });
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, Duration period, Callback cb)

@@ -4,42 +4,56 @@
 //
 // Design notes:
 //  * Deterministic: events at equal timestamps fire in scheduling order
-//    (a monotonically increasing sequence number breaks ties).
-//  * Cancellable: schedule() returns an EventId; cancel() is O(1) via a
-//    tombstone flag (the heap entry is dropped lazily when popped).
+//    (same-time events share a FIFO bucket, so drain order is insert order).
+//  * Allocation-free hot path: callbacks live in a generation-counted slot
+//    pool (recycled via a free list) and are stored as small-buffer
+//    UniqueFunctions, so steady-state schedule/fire cycles never touch the
+//    heap. The priority queue orders distinct timestamps only; same-time
+//    bursts (fan-out, aligned ticks) cost one heap operation per burst.
+//  * Cancellable: schedule() returns an EventId = {slot, generation};
+//    cancel() frees the slot in O(1) and bumps its generation, so the id
+//    (and any stale heap entry) is dead immediately — valid() is exact,
+//    not lazy.
 //  * Single-threaded by design (CP.1 notwithstanding): simulations are
 //    run-to-completion functions; parallelism, when needed, is across
-//    seeds/processes, never inside one simulation.
+//    seeds (see core/seedsweep.hpp), never inside one simulation.
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "util/function.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace msim {
 
-/// Opaque handle for a scheduled event, used only for cancellation.
+class Simulator;
+
+/// Opaque handle for a scheduled event, used only for cancellation and
+/// liveness queries. Must not outlive its Simulator.
 class EventId {
  public:
   EventId() = default;
-  [[nodiscard]] bool valid() const { return !record_.expired(); }
+  /// True while the event is scheduled and uncancelled; false immediately
+  /// after cancel() and immediately after the callback fires.
+  [[nodiscard]] inline bool valid() const;
 
  private:
   friend class Simulator;
-  struct Record {
-    bool cancelled{false};
-  };
-  explicit EventId(std::shared_ptr<Record> r) : record_{std::move(r)} {}
-  std::weak_ptr<Record> record_;
+  EventId(const Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_{sim}, slot_{slot}, gen_{gen} {}
+  const Simulator* sim_{nullptr};
+  std::uint32_t slot_{0};
+  std::uint32_t gen_{0};
 };
 
 /// The simulation kernel: a clock plus an ordered event queue.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
 
   explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
 
@@ -55,7 +69,9 @@ class Simulator {
   /// Schedules `cb` after `delay` from now (negative treated as zero).
   EventId scheduleAfter(Duration delay, Callback cb);
 
-  /// Marks an event as cancelled; a fired or already-cancelled id is a no-op.
+  /// Cancels a live event in O(1); a fired or already-cancelled id is a
+  /// no-op. The callback is destroyed eagerly (captured resources release
+  /// at cancel time, not at pop time).
   void cancel(const EventId& id);
 
   /// Runs until the queue drains or `limit` is reached (clock then advances
@@ -65,36 +81,111 @@ class Simulator {
   /// Runs for `d` simulated time from the current clock.
   std::size_t runFor(Duration d) { return run(now_ + d); }
 
-  /// True if no pending (non-cancelled) events remain.
-  [[nodiscard]] bool idle() const;
+  /// True if no pending (non-cancelled) events remain. O(1).
+  [[nodiscard]] bool idle() const { return liveEvents_ == 0; }
 
-  /// Number of pending entries, including tombstones (diagnostic only).
-  [[nodiscard]] std::size_t queuedEvents() const { return queue_.size(); }
+  /// Number of pending queue entries, including tombstones of cancelled
+  /// events not yet drained (diagnostic only).
+  [[nodiscard]] std::size_t queuedEvents() const { return pendingEntries_; }
+
+  /// Live (scheduled, uncancelled) events.
+  [[nodiscard]] std::size_t liveEvents() const { return liveEvents_; }
+
+  /// Total events executed since construction (determinism probes compare
+  /// this across runs).
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+  /// Per-simulation unique id source (packet uids, connection serials):
+  /// keeping identity allocation inside the simulation makes runs hermetic
+  /// and repeatable even when many simulations execute concurrently.
+  [[nodiscard]] std::uint64_t nextId() { return ++lastId_; }
 
   /// The simulation-wide random source.
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
-  struct Entry {
-    TimePoint time;
-    std::uint64_t seq;
+  friend class EventId;
+
+  struct Slot {
+    std::uint32_t generation{0};
+    bool live{false};
     Callback cb;
-    std::shared_ptr<EventId::Record> record;
   };
-  // Min-heap on (time, seq) kept in an owned vector so entries can be moved
-  // out on pop (std::priority_queue only exposes a const top()).
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // Slots live in fixed-size chunks with stable addresses: growing the pool
+  // never moves a Slot, so (a) growth is O(chunk) instead of O(pool) moves
+  // of 80-byte callbacks, and (b) run() can invoke a callback in place —
+  // no move-out per fire — even if the callback itself schedules events
+  // that grow the pool mid-call.
+  static constexpr std::uint32_t kSlotChunkShift = 10;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+  // The queue is two-level: a 4-ary implicit min-heap over *distinct*
+  // timestamps, plus a FIFO bucket of {slot, gen} references per timestamp
+  // (reached through an open-addressed time → bucket map). Discrete-event
+  // workloads are tie-heavy — periodic ticks, same-instant fan-out bursts —
+  // so a burst of B same-time events costs one heap operation instead of B,
+  // and FIFO drain order *is* scheduling order, which keeps the determinism
+  // contract without a per-event sequence number. A bucket's first entry is
+  // stored inline, so all-distinct workloads never allocate a bucket vector
+  // and pay only the map probe on top of the heap.
+  // `gen` detects entries whose slot was cancelled and possibly reused.
+  // The callback stays put in its slot until fired.
+  struct HeapEntry {
+    std::int64_t timeNs;
+    std::uint32_t bucket;
   };
+  struct BucketRef {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Bucket {
+    BucketRef first{};               // inline storage for the common singleton
+    std::vector<BucketRef> more;     // FIFO overflow, appended after `first`
+    std::uint32_t head{0};           // entries consumed so far
+    std::uint32_t count{0};          // entries appended so far
+  };
+  // Open-addressing cell of the time → bucket map (linear probing,
+  // backward-shift deletion, power-of-two capacity). kEmptyTime is
+  // unreachable as a key: schedule() clamps to now_, which never goes
+  // negative.
+  struct TimeCell {
+    std::int64_t timeNs;
+    std::uint32_t bucket;
+  };
+  static constexpr std::int64_t kEmptyTime =
+      std::numeric_limits<std::int64_t>::min();
+
+  [[nodiscard]] Slot& slotAt(std::uint32_t i) const {
+    return slotChunks_[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+  }
+  std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t index);
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  std::uint32_t bucketFor(std::int64_t timeNs);  // creates on first use
+  void releaseBucket(std::uint32_t index);
+  void eraseTime(std::int64_t timeNs);
+  void growTimeMap();
 
   TimePoint now_{TimePoint::epoch()};
-  std::uint64_t nextSeq_{0};
-  std::vector<Entry> queue_;
+  std::uint64_t executed_{0};
+  std::uint64_t lastId_{0};
+  std::size_t liveEvents_{0};
+  std::size_t pendingEntries_{0};
+  std::vector<HeapEntry> heap_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> freeBuckets_;
+  std::vector<TimeCell> timeMap_;  // grown lazily on first schedule
+  std::size_t timeMapUsed_{0};
+  std::vector<std::unique_ptr<Slot[]>> slotChunks_;
+  std::uint32_t slotCount_{0};
+  std::vector<std::uint32_t> freeSlots_;
   Rng rng_;
 };
+
+inline bool EventId::valid() const {
+  return sim_ != nullptr && slot_ < sim_->slotCount_ &&
+         sim_->slotAt(slot_).generation == gen_ && sim_->slotAt(slot_).live;
+}
 
 /// Repeats a callback at a fixed period until stopped or destroyed.
 ///

@@ -22,11 +22,11 @@ void HttpServer::route(std::string pathPrefix, Handler handler) {
 }
 
 void HttpServer::handle(TlsStreamServer::ConnId id, const Message& m) {
-  const std::string prefix = httpmsg::kRequestPrefix;
-  if (m.kind.rfind(prefix, 0) != 0) return;
+  const std::string_view prefix = httpmsg::kRequestPrefix;
+  if (!m.kind.startsWith(prefix)) return;
 
   HttpRequest req;
-  req.path = m.kind.substr(prefix.size());
+  req.path = std::string{m.kind.view().substr(prefix.size())};
   req.body = m.size > ByteSize::bytes(350) ? m.size - ByteSize::bytes(350)
                                            : ByteSize::zero();
   req.actionId = m.actionId;
@@ -72,7 +72,7 @@ HttpClient::Conn& HttpClient::connFor(const Endpoint& server) {
   conn.stream = std::make_unique<TlsStreamClient>(node_);
   Conn* connPtr = &conn;
   conn.stream->onMessage([this, connPtr](const Message& m) {
-    if (m.kind.rfind(httpmsg::kResponsePrefix, 0) != 0) return;
+    if (!m.kind.startsWith(httpmsg::kResponsePrefix)) return;
     if (connPtr->inflight.empty()) return;
     PendingRequest pending = std::move(connPtr->inflight.front());
     connPtr->inflight.pop_front();

@@ -59,9 +59,9 @@ class RtpSession {
 };
 
 namespace rtpmsg {
-inline constexpr const char* kFrame = "rtp:frame";
-inline constexpr const char* kSenderReport = "rtcp:sr";
-inline constexpr const char* kReceiverReport = "rtcp:rr";
+inline const MsgKind kFrame{"rtp:frame"};
+inline const MsgKind kSenderReport{"rtcp:sr"};
+inline const MsgKind kReceiverReport{"rtcp:rr"};
 }  // namespace rtpmsg
 
 }  // namespace msim

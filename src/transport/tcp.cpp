@@ -26,8 +26,9 @@ std::shared_ptr<TcpSocket> TcpSocket::create(Node& node, TcpConfig cfg) {
 
 TcpSocket::TcpSocket(Node& node, TcpConfig cfg)
     : mux_{TransportMux::of(node)}, cfg_{cfg} {
-  static std::uint64_t nextSerial = 0;
-  serial_ = ++nextSerial;
+  // Serial is a per-simulation map key, never user-visible: allocate it from
+  // the owning Simulator so independent sims don't share a global counter.
+  serial_ = mux_.node().sim().nextId();
   cwnd_ = cfg_.initialCwndSegments * cfg_.mss;
 }
 
@@ -158,7 +159,6 @@ void TcpSocket::trySendData() {
 void TcpSocket::sendSegment(std::uint64_t seq, std::uint32_t len, bool syn,
                             bool fin, bool forceAck) {
   Packet p;
-  p.uid = nextPacketUid();
   p.src = localAddr_;  // unspecified -> the node's primary address
   p.dst = remote_.addr;
   p.dstPort = remote_.port;
@@ -199,7 +199,6 @@ void TcpSocket::sendBareAck() {
 
 void TcpSocket::sendRst(const Endpoint& to, std::uint16_t fromPort) {
   Packet p;
-  p.uid = nextPacketUid();
   p.dst = to.addr;
   p.dstPort = to.port;
   p.srcPort = fromPort;

@@ -10,7 +10,7 @@ TcpConfig tlsTcpConfig() {
   return cfg;
 }
 
-Message handshakeMessage(const char* kind, ByteSize size) {
+Message handshakeMessage(MsgKind kind, ByteSize size) {
   Message m;
   m.kind = kind;
   m.size = size;

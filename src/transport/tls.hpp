@@ -28,9 +28,9 @@ struct TlsProfile {
 
 /// Message kinds used by the handshake.
 namespace tlsmsg {
-inline constexpr const char* kClientHello = "tls:client-hello";
-inline constexpr const char* kServerFlight = "tls:server-flight";
-inline constexpr const char* kClientFinished = "tls:client-finished";
+inline const MsgKind kClientHello{"tls:client-hello"};
+inline const MsgKind kServerFlight{"tls:server-flight"};
+inline const MsgKind kClientFinished{"tls:client-finished"};
 }  // namespace tlsmsg
 
 /// Client side of a persistent TLS-over-TCP message stream.

@@ -19,7 +19,6 @@ void UdpSocket::sendTo(const Endpoint& dst, ByteSize payload,
     const std::int64_t chunk = remaining > kMtuPayload ? kMtuPayload : remaining;
     remaining -= chunk;
     Packet p;
-    p.uid = nextPacketUid();
     p.dst = dst.addr;
     p.dstPort = dst.port;
     p.srcPort = port_;

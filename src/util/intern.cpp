@@ -1,0 +1,39 @@
+#include "util/intern.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace msim {
+
+namespace {
+
+struct InternTable {
+  std::mutex mu;
+  // Owned strings live in a deque so their addresses are stable; the map
+  // keys view into them.
+  std::deque<std::string> storage;
+  std::unordered_map<std::string_view, const std::string*> byText;
+};
+
+// Meyers singleton: safe to use from static initializers of the inline
+// MsgKind constants in any translation unit.
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+const std::string* MsgKind::intern(std::string_view s) {
+  if (s.empty()) return nullptr;
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock{t.mu};
+  const auto it = t.byText.find(s);
+  if (it != t.byText.end()) return it->second;
+  const std::string& owned = t.storage.emplace_back(s);
+  t.byText.emplace(std::string_view{owned}, &owned);
+  return &owned;
+}
+
+}  // namespace msim

@@ -118,6 +118,80 @@ TEST(SimulatorTest, IdleReflectsPendingWork) {
   EXPECT_TRUE(sim.idle());  // cancelled-only queue counts as idle
 }
 
+TEST(SimulatorTest, EventIdValidTracksLifetime) {
+  Simulator sim;
+  EventId never;
+  EXPECT_FALSE(never.valid());  // default-constructed id is dead
+
+  const auto id = sim.scheduleAfter(Duration::millis(1), [] {});
+  EXPECT_TRUE(id.valid());
+  sim.cancel(id);
+  EXPECT_FALSE(id.valid());  // exact, not lazy: dead the instant cancel returns
+  sim.cancel(id);            // idempotent
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(SimulatorTest, EventIdInvalidDuringAndAfterFire) {
+  Simulator sim;
+  EventId id;
+  bool validInsideCallback = true;
+  id = sim.scheduleAfter(Duration::millis(1),
+                         [&] { validInsideCallback = id.valid(); });
+  sim.run();
+  // A firing event is no longer cancellable; its id must already read dead.
+  EXPECT_FALSE(validInsideCallback);
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(SimulatorTest, SlotReuseDoesNotResurrectOldIds) {
+  Simulator sim;
+  const auto stale = sim.scheduleAfter(Duration::millis(1), [] {});
+  sim.cancel(stale);
+  // Force heavy slot recycling; the stale id must stay dead even when its
+  // slot is re-acquired with a new generation.
+  bool newFired = false;
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 64; ++i) {
+    fresh.push_back(sim.scheduleAfter(Duration::millis(2), [&] { newFired = true; }));
+  }
+  EXPECT_FALSE(stale.valid());
+  sim.cancel(stale);  // must not kill whichever new event reused the slot
+  sim.run();
+  EXPECT_TRUE(newFired);
+  for (const auto& id : fresh) EXPECT_FALSE(id.valid());
+}
+
+TEST(SimulatorTest, LiveAndExecutedCounters) {
+  Simulator sim;
+  EXPECT_EQ(sim.liveEvents(), 0u);
+  const auto a = sim.scheduleAfter(Duration::millis(1), [] {});
+  sim.scheduleAfter(Duration::millis(2), [] {});
+  EXPECT_EQ(sim.liveEvents(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.liveEvents(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.liveEvents(), 0u);
+  EXPECT_EQ(sim.executedEvents(), 1u);  // cancelled events never count
+}
+
+TEST(SimulatorTest, NextIdIsPerSimulator) {
+  Simulator a;
+  Simulator b;
+  EXPECT_EQ(a.nextId(), 1u);
+  EXPECT_EQ(a.nextId(), 2u);
+  EXPECT_EQ(b.nextId(), 1u);  // hermetic: not shared across simulators
+}
+
+TEST(SimulatorTest, MoveOnlyCallbacksAreSupported) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  sim.scheduleAfter(Duration::millis(1),
+                    [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 7);
+}
+
 TEST(SimulatorTest, RngIsSeeded) {
   Simulator a{42};
   Simulator b{42};

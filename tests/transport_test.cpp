@@ -153,7 +153,7 @@ TEST_F(TransportFixture, TcpDeliversMessagesInOrder) {
   std::shared_ptr<TcpSocket> serverSock;
   listener.onAccept([&](const std::shared_ptr<TcpSocket>& s) {
     serverSock = s;
-    s->onMessage([&](const Message& m) { got.push_back(m.kind); });
+    s->onMessage([&](const Message& m) { got.push_back(m.kind.str()); });
   });
   auto client = TcpSocket::create(*a);
   client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
@@ -188,7 +188,7 @@ TEST_F(TransportFixture, TcpDeliveredCallbackFiresAfterAck) {
   auto client = TcpSocket::create(*a);
   client->connect(Endpoint{b->primaryAddress(), 443}, nullptr);
   std::vector<std::string> delivered;
-  client->onDelivered([&](const Message& m) { delivered.push_back(m.kind); });
+  client->onDelivered([&](const Message& m) { delivered.push_back(m.kind.str()); });
   client->send(appMessage("m1", 500));
   client->send(appMessage("m2", 500));
   sim.run();
@@ -371,14 +371,14 @@ TEST_F(TransportFixture, TlsStreamHandshakeAndEcho) {
   TlsStreamServer server{*b, 443};
   server.onMessage([&](TlsStreamServer::ConnId id, const Message& m) {
     Message reply;
-    reply.kind = "echo:" + m.kind;
+    reply.kind = "echo:" + m.kind.str();
     reply.size = m.size;
     server.sendTo(id, std::move(reply));
   });
   TlsStreamClient client{*a};
   bool ready = false;
   std::string echoed;
-  client.onMessage([&](const Message& m) { echoed = m.kind; });
+  client.onMessage([&](const Message& m) { echoed = m.kind.str(); });
   client.connect(Endpoint{b->primaryAddress(), 443}, [&](bool ok) { ready = ok; });
   Message m;
   m.kind = "hello";

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "util/function.hpp"
+#include "util/intern.hpp"
 #include "util/rate.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -329,6 +337,98 @@ TEST(TableTest, ShortRowsTolerated) {
 TEST(FmtTest, MeanStdCell) {
   EXPECT_EQ(fmtMeanStd(41.3, 2.1), "41.3/2.1");
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
+}
+
+// ----------------------------------------------------------- UniqueFunction
+
+TEST(UniqueFunctionTest, EmptyAndReset) {
+  UniqueFunction f;
+  EXPECT_FALSE(f);
+  f = [] {};
+  EXPECT_TRUE(f);
+  f.reset();
+  EXPECT_FALSE(f);
+}
+
+TEST(UniqueFunctionTest, InvokesSmallCapture) {
+  int hits = 0;
+  UniqueFunction f{[&hits] { ++hits; }};
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunctionTest, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(5);
+  int seen = 0;
+  UniqueFunction f{[p = std::move(p), &seen] { seen = *p; }};
+  UniqueFunction g{std::move(f)};
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  g();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(UniqueFunctionTest, LargeCaptureFallsBackToHeap) {
+  std::array<double, 32> big{};  // 256 bytes, past the inline buffer
+  big[31] = 9.5;
+  double seen = 0.0;
+  UniqueFunction f{[big, &seen] { seen = big[31]; }};
+  UniqueFunction g;
+  g = std::move(f);
+  g();
+  EXPECT_DOUBLE_EQ(seen, 9.5);
+}
+
+TEST(UniqueFunctionTest, CaptureDestroyedOnReset) {
+  auto tracker = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracker;
+  UniqueFunction f{[t = std::move(tracker)] { (void)t; }};
+  EXPECT_FALSE(weak.expired());
+  f.reset();
+  EXPECT_TRUE(weak.expired());  // eager destruction, not deferred
+}
+
+// ------------------------------------------------------------------ MsgKind
+
+TEST(MsgKindTest, InternedEqualityIsPointerEquality) {
+  const MsgKind a{"avatar:pose"};
+  const MsgKind b{std::string{"avatar:"} + "pose"};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.c_str(), b.c_str());  // same interned storage
+  EXPECT_NE(a, MsgKind{"avatar:voice"});
+}
+
+TEST(MsgKindTest, ComparesWithStringView) {
+  const MsgKind k{"relay:join"};
+  EXPECT_EQ(k, std::string_view{"relay:join"});
+  EXPECT_NE(k, std::string_view{"relay:leave"});
+  EXPECT_EQ(k.view(), "relay:join");
+  EXPECT_EQ(k.str(), "relay:join");
+}
+
+TEST(MsgKindTest, EmptyKind) {
+  const MsgKind none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.view(), "");
+  EXPECT_NE(none, MsgKind{"x"});
+  EXPECT_EQ(none, MsgKind{""});  // empty interns to the same (null) handle
+}
+
+TEST(MsgKindTest, StartsWith) {
+  const MsgKind k{"http-req:/api/join"};
+  EXPECT_TRUE(k.startsWith("http-req:"));
+  EXPECT_FALSE(k.startsWith("http-resp:"));
+  EXPECT_FALSE(MsgKind{}.startsWith("x"));
+  EXPECT_TRUE(k.startsWith(""));
+}
+
+TEST(MsgKindTest, HashableInUnorderedContainers) {
+  std::unordered_set<MsgKind> kinds;
+  kinds.insert(MsgKind{"a"});
+  kinds.insert(MsgKind{"b"});
+  kinds.insert(MsgKind{std::string{"a"}});  // duplicate after interning
+  EXPECT_EQ(kinds.size(), 2u);
+  EXPECT_TRUE(kinds.count(MsgKind{"a"}));
 }
 
 }  // namespace

@@ -10,6 +10,10 @@
 //   msim trace <platform> <seconds>         AP capture, tcpdump-style
 //   msim script <platform> <file>           play an AutoDriver script (u1)
 //
+// A global `--threads N` option (anywhere on the command line) caps the
+// seed-sweep worker pool; the default comes from MSIM_THREADS or the
+// hardware concurrency. Results are identical for any thread count.
+//
 // Everything prints to stdout; exit code 0 on success, 2 on usage errors.
 
 #include <cstdio>
@@ -20,8 +24,12 @@
 #include <iostream>
 #include <algorithm>
 
+#include <cstdlib>
+#include <vector>
+
 #include "core/autodriver.hpp"
 #include "core/experiments.hpp"
+#include "core/seedsweep.hpp"
 #include "util/table.hpp"
 #include "geo/tools.hpp"
 
@@ -46,7 +54,7 @@ PlatformSpec platformByName(const std::string& raw, bool& ok) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: msim <command> [args]\n"
+               "usage: msim [--threads N] <command> [args]\n"
                "  platforms | throughput <platform> [seeds] |\n"
                "  sweep <platform> <users> [seeds] | latency <platform> [users] |\n"
                "  viewport | disrupt <downlink|uplink|tcponly> |\n"
@@ -212,6 +220,21 @@ int cmdScript(const PlatformSpec& spec, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --threads option before command dispatch; the seed
+  // sweep picks the count up through MSIM_THREADS.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      setenv("MSIM_THREADS", argv[++i], /*overwrite=*/1);
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  std::vector<char*> argvStripped{argv[0]};
+  for (std::string& a : args) argvStripped.push_back(a.data());
+  argc = static_cast<int>(argvStripped.size());
+  argv = argvStripped.data();
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "platforms") return cmdPlatforms();

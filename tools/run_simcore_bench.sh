@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs the simulator-substrate micro-benchmarks and writes the machine-
+# readable results to BENCH_simcore_perf.json (git-ignored).
+#
+#   tools/run_simcore_bench.sh [build-dir] [extra google-benchmark args...]
+#
+# Compare two checkouts with google-benchmark's compare.py, or just diff the
+# items_per_second fields. BM_RelayBroadcast also reports
+# allocs_per_forward, the steady-state heap budget of the relay hot path.
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+BIN="$BUILD_DIR/bench/bench_simcore_perf"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_simcore_perf)" >&2
+  exit 1
+fi
+
+OUT="BENCH_simcore_perf.json"
+"$BIN" \
+  --benchmark_format=console \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${MSIM_BENCH_REPS:-1}" \
+  "$@"
+echo "wrote $OUT"
