@@ -1,0 +1,252 @@
+// Planet-scale extrapolation: 10,000 users sharded across a relay cluster.
+//
+// The paper stops at 28 users on one relay machine and asks whether the
+// metaverse vision — "thousands of users in one world" — survives the
+// measured per-server scaling walls (§6, §7, §9). This bench answers with
+// the architecture real platforms use (§4.2): many relay instances behind a
+// capacity-aware gateway. Each instance stays inside the regime the paper
+// measured (hundreds of users, linear fan-out), a mid-run drain exercises
+// live room migration at scale, and the run asserts zero delivery loss.
+//
+// Determinism: the whole sweep is seed-keyed and merged in seed order, so
+// the report (and the digest it prints) is byte-identical for any
+// MSIM_THREADS. Extra knobs:
+//   MSIM_CLUSTER_USERS      total users          (default 10000)
+//   MSIM_CLUSTER_INSTANCES  shard count          (default 32)
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "avatar/codec.hpp"
+#include "avatar/spec.hpp"
+#include "cluster/manager.hpp"
+#include "common.hpp"
+#include "core/seedsweep.hpp"
+
+using namespace msim;
+using namespace msim::cluster;
+
+namespace {
+
+int envInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct RunResult {
+  std::uint64_t broadcasts{0};
+  std::uint64_t expectedDeliveries{0};
+  std::uint64_t delivered{0};
+  std::uint64_t migrations{0};
+  std::uint64_t migratedUsers{0};
+  double maxUtilization{0.0};
+  double perUserDownMbps{0.0};  // mean over shards untouched by the drain
+  std::vector<std::size_t> usersPerShard;
+  std::vector<std::uint64_t> forwardsPerShard;
+};
+
+RunResult runCluster(std::uint64_t seed, int users, int instances,
+                     Duration measure) {
+  Simulator sim{seed};
+  ClusterConfig cfg;
+  cfg.initialInstances = instances;
+  cfg.policy = PlacementPolicy::LeastLoaded;
+  cfg.regions = {regions::usEast(), regions::usWest(), regions::europe()};
+  InstanceManager mgr{sim, DataSpec{}, cfg};
+
+  RunResult r;
+  mgr.setDeliverySink(
+      [&r](std::uint32_t, std::uint64_t, const Message&) { ++r.delivered; });
+
+  const auto& allRegions = cfg.regions;
+  for (int i = 0; i < users; ++i) {
+    mgr.joinUser(static_cast<std::uint64_t>(i + 1),
+                 allRegions[static_cast<std::size_t>(i) % allRegions.size()]);
+  }
+
+  // One pacer drives every resident at the avatar update rate (10 Hz): a
+  // per-user PeriodicTask at this scale would be 10k timers for no fidelity.
+  AvatarSpec avatar;
+  Message pose;
+  pose.kind = avatarmsg::kPoseUpdate;
+  pose.size = avatar.bytesPerUpdate;
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> idsScratch;
+  PeriodicTask pacer{
+      sim, Duration::seconds(1.0 / avatar.updateRateHz), [&] {
+        for (const auto& inst : mgr.instances()) {
+          if (inst->userCount() < 2) continue;
+          idsScratch = inst->room().userIds();
+          const std::uint64_t fanout = idsScratch.size() - 1;
+          for (const std::uint64_t id : idsScratch) {
+            pose.senderId = id;
+            pose.sequence = ++seq;
+            inst->room().broadcast(id, pose);
+            ++r.broadcasts;
+            r.expectedDeliveries += fanout;
+          }
+        }
+      }};
+
+  // Scripted drain halfway through: the last shard live-migrates.
+  sim.schedule(TimePoint::epoch() + measure * 0.5, [&mgr, instances] {
+    mgr.drain(static_cast<std::uint32_t>(instances - 1));
+  });
+
+  sim.runFor(measure);
+  pacer.stop();
+  // Flush the in-flight tail (the cluster's load samplers tick forever, so
+  // run in bounded slices until every scheduled forward has landed).
+  for (int guard = 0; guard < 1000 && r.delivered < r.expectedDeliveries;
+       ++guard) {
+    sim.runFor(Duration::seconds(10));
+  }
+
+  const ClusterStats stats = mgr.stats();
+  r.migrations = stats.migrations;
+  r.migratedUsers = stats.migratedUsers;
+  // Per-user downlink from shards the drain did not touch: the drained
+  // source ends empty and the target runs at double occupancy, so only the
+  // untouched shards are comparable to a steady single-relay room.
+  const std::size_t perShard =
+      (static_cast<std::size_t>(users) + instances - 1) /
+      static_cast<std::size_t>(instances);
+  double downBpsSum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& row : stats.shards) {
+    r.usersPerShard.push_back(row.users);
+    r.forwardsPerShard.push_back(row.forwards);
+    if (row.utilization > r.maxUtilization) r.maxUtilization = row.utilization;
+    if (row.users == perShard) {
+      downBpsSum += static_cast<double>(row.deliveredBytes.toBits()) /
+                    measure.toSeconds() / static_cast<double>(row.users);
+      counted += 1;
+    }
+  }
+  r.perUserDownMbps = counted > 0 ? downBpsSum / counted / 1e6 : 0.0;
+  return r;
+}
+
+// A single relay room at one shard's occupancy, driven identically — the
+// paper's measurement setting, scaled to the cluster's per-instance regime.
+double runSingleRelayPerUserMbps(std::uint64_t seed, int users,
+                                 Duration measure) {
+  Simulator sim{seed};
+  RelayRoom room{sim, DataSpec{}};
+  room.reserveUsers(static_cast<std::size_t>(users));
+  std::uint64_t deliveredBytes = 0;
+  room.hooks().onLocalDeliver = [&deliveredBytes](std::uint64_t,
+                                                  const Message& m) {
+    deliveredBytes += static_cast<std::uint64_t>(m.size.toBytes());
+  };
+  for (int i = 0; i < users; ++i) {
+    room.joinDetached(static_cast<std::uint64_t>(i + 1));
+  }
+  AvatarSpec avatar;
+  Message pose;
+  pose.kind = avatarmsg::kPoseUpdate;
+  pose.size = avatar.bytesPerUpdate;
+  std::uint64_t seq = 0;
+  PeriodicTask pacer{sim, Duration::seconds(1.0 / avatar.updateRateHz), [&] {
+                       for (int i = 0; i < users; ++i) {
+                         pose.senderId = static_cast<std::uint64_t>(i + 1);
+                         pose.sequence = ++seq;
+                         room.broadcast(pose.senderId, pose);
+                       }
+                     }};
+  sim.runFor(measure);
+  pacer.stop();
+  sim.run();
+  return static_cast<double>(deliveredBytes) * 8.0 / measure.toSeconds() /
+         static_cast<double>(users) / 1e6;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fmtD(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const int users = envInt("MSIM_CLUSTER_USERS", 10000);
+  const int instances = envInt("MSIM_CLUSTER_INSTANCES", 32);
+  const int seeds = bench::seedCount(3);
+  const Duration measure = bench::measureWindow(10.0);
+  bench::header(
+      "Planet scale — " + std::to_string(users) + " users on " +
+          std::to_string(instances) + " relay instances",
+      "§9 extrapolation beyond Fig. 7/9's single-relay wall; " +
+          std::to_string(seeds) + " seeds, " +
+          std::to_string(static_cast<int>(measure.toSeconds())) + " s window");
+
+  const auto runs = runSeedSweep(
+      defaultSeeds(seeds), [users, instances, measure](std::uint64_t seed) {
+        return runCluster(seed, users, instances, measure);
+      });
+
+  std::string report;
+  TablePrinter table{{"seed#", "broadcasts", "delivered", "lost", "migrated",
+                      "max util", "per-user down Mbps"}};
+  std::uint64_t lostTotal = 0;
+  double downMean = 0.0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    const std::uint64_t lost = r.expectedDeliveries - r.delivered;
+    lostTotal += lost;
+    downMean += r.perUserDownMbps;
+    table.addRow({std::to_string(i), std::to_string(r.broadcasts),
+                  std::to_string(r.delivered), std::to_string(lost),
+                  std::to_string(r.migratedUsers), fmtD(r.maxUtilization, 3),
+                  fmtD(r.perUserDownMbps, 3)});
+    report += std::to_string(r.broadcasts) + "," +
+              std::to_string(r.delivered) + "," + std::to_string(lost) + "," +
+              std::to_string(r.migratedUsers) + "," +
+              fmtD(r.maxUtilization, 6) + ";";
+    for (const std::size_t u : r.usersPerShard) report += std::to_string(u) + " ";
+    for (const std::uint64_t f : r.forwardsPerShard) {
+      report += std::to_string(f) + " ";
+    }
+    report += "\n";
+  }
+  downMean /= static_cast<double>(runs.size());
+  table.print(std::cout);
+
+  // Per-instance regime vs the single-relay baseline the paper measured.
+  const int perShard = (users + instances - 1) / instances;
+  const double single =
+      runSingleRelayPerUserMbps(defaultSeeds(1)[0], perShard, measure);
+  const double deltaPct =
+      single > 0.0 ? 100.0 * (downMean - single) / single : 0.0;
+  std::printf(
+      "\nper-instance check: cluster %.3f Mbps/user vs single relay at "
+      "%d users %.3f Mbps/user (%+.2f%%)\n",
+      downMean, perShard, single, deltaPct);
+  std::printf("zero-loss check: %" PRIu64
+              " deliveries lost across all seeds (must be 0 across drains)\n",
+              lostTotal);
+  std::printf("report digest: %016" PRIx64
+              "  (byte-identical for any MSIM_THREADS)\n",
+              fnv1a(report));
+  std::printf(
+      "\npaper checkpoints: each instance stays on Fig. 7's linear per-user\n"
+      "downlink at its own occupancy — the cluster breaks the aggregate\n"
+      "scaling wall (§6) without changing what any single user experiences;\n"
+      "a drained shard hands its room over live, losing nothing (§4.2's\n"
+      "elastic serving tier, made explicit).\n");
+  return lostTotal == 0 ? 0 : 1;
+}

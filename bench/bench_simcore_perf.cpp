@@ -150,6 +150,61 @@ void BM_UdpLinkTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_UdpLinkTransfer);
 
+void BM_UdpSteadyStatePacketPool(benchmark::State& state) {
+  // The packet-pool check: on a long-lived link carrying message-bearing
+  // datagrams (the relay data path), every `Packet::messages` buffer must be
+  // recycled through the PacketArena freelist rather than the heap. Reports
+  // the arena hit rate over the measured window (budget: 1.0 at steady
+  // state) alongside total heap allocations per datagram for context.
+  Simulator sim{1};
+  Network net{sim};
+  Node& a = net.addNode("a");
+  Node& b = net.addNode("b");
+  a.addAddress(Ipv4Address(10, 0, 0, 1));
+  b.addAddress(Ipv4Address(10, 0, 0, 2));
+  auto [da, db] = Link::connect(a, b, LinkConfig{});
+  a.setDefaultRoute(da);
+  b.setDefaultRoute(db);
+  UdpSocket server{b, 5000};
+  UdpSocket client{a};
+  std::int64_t received = 0;
+  server.onReceive([&](const Packet&, const Endpoint&) { ++received; });
+  const Endpoint dst{b.primaryAddress(), 5000};
+  // One shared pose update rides every datagram — the same sharing the relay
+  // fan-out path uses, so each packet's messages vector draws one arena block.
+  auto pose = std::make_shared<Message>();
+  pose->kind = avatarmsg::kPoseUpdate;
+  pose->size = ByteSize::bytes(500);
+
+  // Warm up: seed the arena freelists and the event pool.
+  for (int i = 0; i < 1000; ++i) client.sendTo(dst, pose->size, pose);
+  sim.run();
+
+  const auto& arena = PacketArena::local();
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  const std::uint64_t hitsBefore = arena.stats().poolHits;
+  const std::uint64_t fillsBefore = arena.stats().heapFills;
+  const std::int64_t receivedBefore = received;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) client.sendTo(dst, pose->size, pose);
+    sim.run();
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  const std::uint64_t hits = arena.stats().poolHits - hitsBefore;
+  const std::uint64_t fills = arena.stats().heapFills - fillsBefore;
+  const std::int64_t datagrams = received - receivedBefore;
+  state.SetItemsProcessed(datagrams);
+  state.counters["allocs_per_datagram"] = benchmark::Counter(
+      datagrams > 0
+          ? static_cast<double>(allocs) / static_cast<double>(datagrams)
+          : 0.0);
+  state.counters["pool_hit_rate"] = benchmark::Counter(
+      hits + fills > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + fills)
+          : 0.0);
+}
+BENCHMARK(BM_UdpSteadyStatePacketPool);
+
 void BM_TcpBulkTransfer(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim{1};

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "net/packetpool.hpp"
 #include "util/intern.hpp"
 #include "util/rate.hpp"
 #include "util/time.hpp"
@@ -97,8 +98,13 @@ struct Packet {
   std::uint16_t overheadBytes{0};
   /// App messages completed by this packet: for UDP the datagram's message
   /// (on its final fragment); for TCP every message whose last byte lies in
-  /// this segment (several small writes can share one segment).
-  std::vector<std::shared_ptr<const Message>> messages;
+  /// this segment (several small writes can share one segment). The buffer
+  /// comes from the thread-local packet arena, so steady-state sends recycle
+  /// it instead of allocating (see net/packetpool.hpp).
+  using MessageRefs =
+      std::vector<std::shared_ptr<const Message>,
+                  PacketArenaAllocator<std::shared_ptr<const Message>>>;
+  MessageRefs messages;
 
   [[nodiscard]] const Message* primaryMessage() const {
     return messages.empty() ? nullptr : messages.front().get();

@@ -66,6 +66,17 @@ PlatformDeployment::PlatformDeployment(Simulator& sim, Network& net,
   buildData(fabric);
 }
 
+PlatformDeployment::PlatformDeployment(Simulator& sim, Network& net,
+                                       InternetFabric& fabric, PlatformSpec spec,
+                                       std::vector<Region> serveRegions,
+                                       ControlTierOnly /*tag*/)
+    : sim_{sim}, net_{net}, spec_{std::move(spec)}, regions_{std::move(serveRegions)} {
+  if (regions_.empty()) {
+    regions_ = {regions::usEast(), regions::usWest(), regions::europe()};
+  }
+  buildControl(fabric);
+}
+
 void PlatformDeployment::buildControl(InternetFabric& fabric) {
   const ControlSpec& control = spec_.control;
   auto makeSite = [&](const Region& region) -> ControlSite& {

@@ -18,6 +18,10 @@
 namespace msim {
 
 /// All servers of one platform on one fabric.
+///
+/// Subclassable: the cluster layer (src/cluster) derives a deployment whose
+/// data tier is a sharded instance fleet behind a gateway, overriding
+/// dataEndpointFor so per-user steering becomes a placement decision.
 class PlatformDeployment {
  public:
   /// Builds control and data tiers in `serveRegions` (defaults to
@@ -25,6 +29,8 @@ class PlatformDeployment {
   PlatformDeployment(Simulator& sim, Network& net, InternetFabric& fabric,
                      PlatformSpec spec,
                      std::vector<Region> serveRegions = {});
+
+  virtual ~PlatformDeployment() = default;
 
   PlatformDeployment(const PlatformDeployment&) = delete;
   PlatformDeployment& operator=(const PlatformDeployment&) = delete;
@@ -36,8 +42,8 @@ class PlatformDeployment {
 
   /// Data endpoint for the `userIndex`-th user in `userRegion` (load
   /// balancing may hand different users different replicas, §4.2).
-  [[nodiscard]] Endpoint dataEndpointFor(const Region& userRegion,
-                                         int userIndex) const;
+  [[nodiscard]] virtual Endpoint dataEndpointFor(const Region& userRegion,
+                                                 int userIndex) const;
 
   /// The shared event/room state (one social event per deployment).
   [[nodiscard]] const std::shared_ptr<RelayRoom>& room() const { return room_; }
@@ -59,6 +65,32 @@ class PlatformDeployment {
   static constexpr std::uint16_t kControlPort = 443;
   static constexpr std::uint16_t kVoicePort = 5056;
 
+ protected:
+  /// Tag ctor for subclasses that replace the data tier: builds the control
+  /// tier only; the subclass attaches its own data nodes/servers, registers
+  /// their addresses, and sets the primary room.
+  struct ControlTierOnly {};
+  PlatformDeployment(Simulator& sim, Network& net, InternetFabric& fabric,
+                     PlatformSpec spec, std::vector<Region> serveRegions,
+                     ControlTierOnly tag);
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const std::vector<Region>& serveRegions() const {
+    return regions_;
+  }
+  /// Registers a subclass-built data address for classifier support.
+  void registerDataAddress(Ipv4Address addr) { dataAddrs_.push_back(addr); }
+  /// Sets the room reported by room() (a cluster picks its first shard's).
+  void setPrimaryRoom(std::shared_ptr<RelayRoom> room) {
+    room_ = std::move(room);
+  }
+  [[nodiscard]] Ipv4Address providerAddress(const std::string& owner,
+                                            const Region& region, int host) const;
+  /// Deterministic per-deployment host-octet allocator (addresses are
+  /// identity, not behaviour). Instance-scoped so concurrent seed-sweep
+  /// runs assign identical addresses regardless of thread interleaving.
+  std::uint8_t nextHostOctet();
+
  private:
   struct DataReplica {
     Node* node{nullptr};
@@ -74,14 +106,8 @@ class PlatformDeployment {
     std::unique_ptr<ControlService> service;
   };
 
-  [[nodiscard]] Ipv4Address providerAddress(const std::string& owner,
-                                            const Region& region, int host) const;
   void buildControl(InternetFabric& fabric);
   void buildData(InternetFabric& fabric);
-  /// Deterministic per-deployment host-octet allocator (addresses are
-  /// identity, not behaviour). Instance-scoped so concurrent seed-sweep
-  /// runs assign identical addresses regardless of thread interleaving.
-  std::uint8_t nextHostOctet();
 
   Simulator& sim_;
   Network& net_;

@@ -11,14 +11,14 @@
 //
 // A RelayRoom spans one or more RelayServer replicas (load balancing gives
 // different users different server addresses, §4.2); replicas share room
-// state with a small intra-site forwarding delay.
+// state with a small intra-site forwarding delay. Above this tier sits
+// src/cluster: many rooms (instances) behind a gateway, which is how real
+// platforms actually absorb large populations (§4.2, Table 2).
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "avatar/motion.hpp"
@@ -26,6 +26,7 @@
 #include "platform/spec.hpp"
 #include "transport/tls.hpp"
 #include "transport/udp.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -50,6 +51,34 @@ struct RelayProbeHooks {
   std::function<void(std::uint64_t actionId, std::uint64_t toUser, TimePoint in,
                      TimePoint out)>
       onActionForwarded;
+  /// Delivery sink for detached users (no replica): invoked at the instant
+  /// the forward would hit the user's replica. The cluster layer counts
+  /// per-receiver deliveries through this without simulating a network.
+  std::function<void(std::uint64_t toUser, const Message&)> onLocalDeliver;
+};
+
+/// One user's portable relay state, used for live migration between rooms
+/// (cluster instance handoff) — everything the receiving shard needs so
+/// viewport prediction and activity tracking continue seamlessly.
+struct RelayUserRecord {
+  std::uint64_t id{0};
+  Pose pose;
+  bool poseKnown{false};
+  Pose prevPose;
+  TimePoint poseAt;
+  TimePoint prevPoseAt;
+  TimePoint lastActivity;
+};
+
+/// A full room snapshot for live migration: user records in id order plus
+/// the per-(sender → receiver) flow clocks and LoD counters, so a migrated
+/// room cannot reorder or double-decimate a stream mid-handoff.
+struct RelayRoomSnapshot {
+  std::vector<RelayUserRecord> users;  // sorted by id
+  /// flowNextOut[receiverIdx][senderIdx], indices into `users`.
+  std::vector<std::vector<TimePoint>> flowNextOut;
+  /// lodCounters[receiverIdx][senderIdx], indices into `users`.
+  std::vector<std::vector<std::uint32_t>> lodCounters;
 };
 
 /// Shared state of one social event across relay replicas.
@@ -72,13 +101,23 @@ class RelayRoom {
   /// Total bytes decimated by distance-based interest management.
   [[nodiscard]] ByteSize lodFilteredBytes() const { return lodFiltered_; }
   [[nodiscard]] ByteSize forwardedBytes() const { return forwarded_; }
+  /// Forwards scheduled since construction (one per receiver per broadcast).
+  [[nodiscard]] std::uint64_t forwardedMessages() const { return forwardedMsgs_; }
+
+  /// Scales the shard's processing-delay model at runtime: the cluster
+  /// capacity model raises this as a saturated instance's queues grow
+  /// (provisioningFactor semantics, §7).
+  void setProvisioningFactor(double factor);
+  [[nodiscard]] double provisioningFactor() const {
+    return spec_.provisioningFactor;
+  }
 
   // Internal API used by RelayServer.
   /// False when the event is at its user cap (§6.2).
   bool join(std::uint64_t userId, RelayServer& home);
   /// Detached join (no replica): room bookkeeping and broadcast fan-out run
-  /// normally but nothing is delivered. Used by benches and tests that
-  /// measure the room logic without a network.
+  /// normally but delivery goes to hooks().onLocalDeliver (if set). Used by
+  /// benches, tests, and the cluster bench driver.
   bool joinDetached(std::uint64_t userId);
   void leave(std::uint64_t userId);
   void updatePose(std::uint64_t userId, const Pose& pose);
@@ -89,6 +128,18 @@ class RelayRoom {
   /// Forwards `m` from `fromUser` to every other user, applying the
   /// viewport filter, processing delay, and queueing growth.
   void broadcast(std::uint64_t fromUser, const Message& m);
+
+  // ---- live migration (cluster handoff) -----------------------------------
+  /// Current membership in id order.
+  [[nodiscard]] std::vector<std::uint64_t> userIds() const;
+  /// Captures every user's relay state plus flow clocks / LoD counters.
+  [[nodiscard]] RelayRoomSnapshot exportSnapshot() const;
+  /// Adopts a migrated room wholesale: users join this room (detached, or
+  /// homed via `homeFor` when provided) with pose history, activity, flow
+  /// clocks and decimation counters carried over, so in-order delivery and
+  /// LoD cadence survive the handoff. Users already present are skipped.
+  void importSnapshot(const RelayRoomSnapshot& snap,
+                      const std::function<RelayServer*(std::uint64_t)>& homeFor = {});
 
  private:
   // Room state is a dense vector sorted by user id: broadcast() walks it
@@ -114,6 +165,13 @@ class RelayRoom {
     std::vector<TimePoint> flowNextOut;
   };
 
+  /// One receiver of a batched fan-out delivery.
+  struct BatchEntry {
+    std::uint64_t id;
+    RelayServer* home;
+  };
+  using Batch = std::vector<BatchEntry>;
+
   /// The receiver's facing direction, extrapolated `leadMs` into the future
   /// from its last two pose reports (the §6.1 prediction problem).
   [[nodiscard]] static double predictYawDeg(const UserState& user, double leadMs);
@@ -125,16 +183,32 @@ class RelayRoom {
   /// Rebuilds index_ entries for users at positions [from, end).
   void reindexFrom(std::size_t from);
 
+  [[nodiscard]] Batch acquireBatch();
+  void releaseBatch(Batch&& batch);
+  /// Schedules one delivery event walking `batch` at time `at`.
+  void scheduleBatch(TimePoint at, Batch batch,
+                     std::shared_ptr<const Message> msg, TimePoint inTime);
+
   Simulator& sim_;
   DataSpec spec_;
   RelayProbeHooks hooks_;
   std::vector<UserState> users_;  // sorted by id
-  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  FlatMap64<std::uint32_t> index_;
   ByteSize filtered_;
   ByteSize lodFiltered_;
   ByteSize forwarded_;
+  std::uint64_t forwardedMsgs_{0};
   std::unique_ptr<PeriodicTask> evictionTask_;
   Duration evictionTimeout_ = Duration::seconds(15);
+  // Batched fan-out scratch state: same-time receivers of one broadcast
+  // share a single queue event walking a BatchEntry range; the entry
+  // buffers recycle through batchPool_ (see DESIGN.md §7).
+  struct PendingGroup {
+    TimePoint at;
+    Batch entries;
+  };
+  std::vector<PendingGroup> groupScratch_;
+  std::vector<Batch> batchPool_;
 };
 
 /// One relay replica bound to a node, speaking UDP or a TLS stream.
@@ -155,6 +229,9 @@ class RelayServer {
   [[nodiscard]] Node& node() { return node_; }
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] RelayRoom& room() { return *room_; }
+  /// Swaps the backing room (live migration re-homes a replica's users onto
+  /// the target shard's room; delivery bindings are untouched).
+  void setRoom(std::shared_ptr<RelayRoom> room) { room_ = std::move(room); }
 
   /// Sends a message to a locally-homed user (called by the room).
   void deliverToUser(std::uint64_t userId, const Message& m);
@@ -182,9 +259,10 @@ class RelayServer {
   std::unique_ptr<UdpSocket> udp_;
   std::unique_ptr<TlsStreamServer> tls_;
 
-  // User bindings for delivery.
-  std::map<std::uint64_t, Endpoint> udpUsers_;
-  std::map<std::uint64_t, TlsStreamServer::ConnId> tlsUsers_;
+  // User bindings for delivery: flat open-addressed tables — the per-forward
+  // delivery lookup is a probe into one contiguous array, not a tree walk.
+  FlatMap64<Endpoint> udpUsers_;
+  FlatMap64<TlsStreamServer::ConnId> tlsUsers_;
 
   std::unique_ptr<PeriodicTask> miscTask_;
 };

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/flatmap.hpp"
 #include "util/function.hpp"
 #include "util/intern.hpp"
 #include "util/rate.hpp"
@@ -429,6 +430,80 @@ TEST(MsgKindTest, HashableInUnorderedContainers) {
   kinds.insert(MsgKind{std::string{"a"}});  // duplicate after interning
   EXPECT_EQ(kinds.size(), 2u);
   EXPECT_TRUE(kinds.count(MsgKind{"a"}));
+}
+
+// ------------------------------------------------------------ FlatMap64
+
+TEST(FlatMap64Test, InsertFindEraseRoundTrip) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(42), nullptr);
+  m.insert(42, 7);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_TRUE(m.contains(42));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(42));
+  EXPECT_FALSE(m.erase(42));
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap64Test, OperatorBracketInsertsAndUpdates) {
+  FlatMap64<std::uint64_t> m;
+  m[5] = 50;
+  m[5] = 51;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(5), 51u);
+}
+
+TEST(FlatMap64Test, GrowthKeepsAllEntriesFindable) {
+  FlatMap64<std::uint64_t> m;
+  // Adversarial-ish keys: strided, clustered, and large (growth exercises
+  // rehash + probe relocation; erase exercises backward-shift deletion).
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    m.insert(k * 0x100000001ull + 3, k);
+  }
+  EXPECT_EQ(m.size(), 5000u);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(m.find(k * 0x100000001ull + 3), nullptr) << k;
+    EXPECT_EQ(*m.find(k * 0x100000001ull + 3), k);
+  }
+  // Erase every other key; the rest must stay reachable across the shifts.
+  for (std::uint64_t k = 0; k < 5000; k += 2) {
+    EXPECT_TRUE(m.erase(k * 0x100000001ull + 3));
+  }
+  EXPECT_EQ(m.size(), 2500u);
+  for (std::uint64_t k = 1; k < 5000; k += 2) {
+    ASSERT_NE(m.find(k * 0x100000001ull + 3), nullptr) << k;
+  }
+  for (std::uint64_t k = 0; k < 5000; k += 2) {
+    EXPECT_EQ(m.find(k * 0x100000001ull + 3), nullptr) << k;
+  }
+}
+
+TEST(FlatMap64Test, ForEachVisitsEveryEntryExactlyOnce) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 1; k <= 100; ++k) m.insert(k, static_cast<int>(k));
+  std::unordered_set<std::uint64_t> seen;
+  int sum = 0;
+  m.forEach([&](std::uint64_t k, int& v) {
+    EXPECT_TRUE(seen.insert(k).second);
+    sum += v;
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(FlatMap64Test, ClearAndReserve) {
+  FlatMap64<int> m;
+  m.reserve(1000);
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert(k, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m.insert(7, 2);
+  EXPECT_EQ(*m.find(7), 2);
 }
 
 }  // namespace

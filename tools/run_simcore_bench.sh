@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
 # Runs the simulator-substrate micro-benchmarks and writes the machine-
-# readable results to BENCH_simcore_perf.json (git-ignored).
+# readable results to BENCH_simcore_perf.json (git-ignored), then smoke-runs
+# the cluster planet-scale bench at a small configuration (its exit status
+# enforces the zero-loss migration invariant).
 #
 #   tools/run_simcore_bench.sh [build-dir] [extra google-benchmark args...]
 #
 # Compare two checkouts with google-benchmark's compare.py, or just diff the
-# items_per_second fields. BM_RelayBroadcast also reports
-# allocs_per_forward, the steady-state heap budget of the relay hot path.
+# items_per_second fields. BM_RelayBroadcast reports allocs_per_forward and
+# BM_UdpSteadyStatePacketPool reports pool_hit_rate — the steady-state heap
+# budgets of the relay and link hot paths. Skip the cluster smoke with
+# MSIM_SKIP_CLUSTER_SMOKE=1.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -26,3 +30,19 @@ OUT="BENCH_simcore_perf.json"
   --benchmark_repetitions="${MSIM_BENCH_REPS:-1}" \
   "$@"
 echo "wrote $OUT"
+
+if [ "${MSIM_SKIP_CLUSTER_SMOKE:-0}" = "1" ]; then
+  exit 0
+fi
+CLUSTER_BIN="$BUILD_DIR/bench/bench_cluster_planet_scale"
+if [ ! -x "$CLUSTER_BIN" ]; then
+  echo "note: $CLUSTER_BIN not built; skipping cluster smoke run" >&2
+  exit 0
+fi
+echo ""
+echo "== cluster smoke run (scaled down; full run is the bench's defaults) =="
+MSIM_CLUSTER_USERS="${MSIM_CLUSTER_USERS:-400}" \
+MSIM_CLUSTER_INSTANCES="${MSIM_CLUSTER_INSTANCES:-8}" \
+MSIM_SEEDS="${MSIM_SEEDS:-2}" \
+MSIM_MEASURE_S="${MSIM_MEASURE_S:-3}" \
+  "$CLUSTER_BIN"
