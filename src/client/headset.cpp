@@ -19,12 +19,12 @@ HeadsetDevice::HeadsetDevice(Simulator& sim, Node& node, DeviceSpec spec,
     const TimePoint local = localNow();
     recentDisplays_.push_back(local);
     while (recentDisplays_.size() > 4096) recentDisplays_.pop_front();
-    const auto it = actionsInFrame_.find(frame.frameIndex);
-    if (it != actionsInFrame_.end()) {
-      for (const std::uint64_t action : it->second) {
-        firstDisplay_.emplace(action, local);  // keep the first only
+    if (std::vector<std::uint64_t>* actions = actionsInFrame_.find(frame.frameIndex)) {
+      for (const std::uint64_t action : *actions) {
+        // Keep the first display only.
+        if (!firstDisplay_.contains(action)) firstDisplay_.insert(action, local);
       }
-      actionsInFrame_.erase(it);
+      actionsInFrame_.erase(frame.frameIndex);
     }
   });
 }
@@ -34,9 +34,9 @@ void HeadsetDevice::markActionVisible(std::uint64_t actionId) {
 }
 
 std::optional<TimePoint> HeadsetDevice::firstDisplayLocal(std::uint64_t actionId) const {
-  const auto it = firstDisplay_.find(actionId);
-  if (it == firstDisplay_.end()) return std::nullopt;
-  return it->second;
+  const TimePoint* t = firstDisplay_.find(actionId);
+  if (t == nullptr) return std::nullopt;
+  return *t;
 }
 
 std::optional<TimePoint> HeadsetDevice::lastDisplayAtOrBeforeLocal(TimePoint localT) const {

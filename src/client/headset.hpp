@@ -12,11 +12,11 @@
 
 #include <deque>
 #include <optional>
-#include <unordered_map>
 
 #include "client/metrics.hpp"
 #include "client/render.hpp"
 #include "net/node.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -60,9 +60,9 @@ class HeadsetDevice {
   OvrMetricsSampler metrics_;
 
   std::vector<std::uint64_t> pendingActions_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> actionsInFrame_;
-  std::unordered_map<std::uint64_t, TimePoint> firstDisplay_;  // local time
-  std::deque<TimePoint> recentDisplays_;                        // local times
+  FlatMap64<std::vector<std::uint64_t>> actionsInFrame_;  // frame -> actions
+  FlatMap64<TimePoint> firstDisplay_;                     // action -> local time
+  std::deque<TimePoint> recentDisplays_;                  // local times
 };
 
 /// The ADB-based clock synchronization of §7.

@@ -17,14 +17,8 @@ CaptureAgent::CaptureAgent(Simulator& sim, NetDevice& campusSide,
                            const PlatformDeployment& deployment,
                            Duration binWidth)
     : sim_{sim}, deployment_{deployment} {
-  for (const Channel c : {Channel::ControlUp, Channel::ControlDown,
-                          Channel::DataUp, Channel::DataDown, Channel::Other}) {
-    channels_.emplace(static_cast<int>(c), BinnedSeries{binWidth});
-  }
-  for (const IpProto proto : {IpProto::Udp, IpProto::Tcp, IpProto::Icmp}) {
-    protos_.emplace(static_cast<int>(proto) * 2 + 0, BinnedSeries{binWidth});
-    protos_.emplace(static_cast<int>(proto) * 2 + 1, BinnedSeries{binWidth});
-  }
+  channels_.fill(BinnedSeries{binWidth});
+  protos_.fill(BinnedSeries{binWidth});
   campusSide.addTap([this](const Packet& p, TapDir dir) {
     // Egress toward the campus/internet = the user's uplink.
     onPacket(p, dir == TapDir::Egress);
@@ -47,8 +41,8 @@ void CaptureAgent::onPacket(const Packet& p, bool uplink) {
   ++packets_;
   const TimePoint now = sim_.now();
   const Channel channel = classify(p, uplink);
-  channels_.at(static_cast<int>(channel)).addBytes(now, p.wireSize());
-  protos_.at(static_cast<int>(p.proto) * 2 + (uplink ? 1 : 0))
+  channels_[static_cast<std::size_t>(channel)].addBytes(now, p.wireSize());
+  protos_[static_cast<std::size_t>(p.proto) * 2 + (uplink ? 1 : 0)]
       .addBytes(now, p.wireSize());
 
   std::uint64_t actionId = 0;
@@ -60,7 +54,7 @@ void CaptureAgent::onPacket(const Packet& p, bool uplink) {
   }
   if (actionId != 0) {
     auto& registry = uplink ? firstUpAction_ : firstDownAction_;
-    registry.emplace(actionId, now);
+    if (!registry.contains(actionId)) registry.insert(actionId, now);
   }
 
   if (storeRecords_) {
@@ -70,23 +64,23 @@ void CaptureAgent::onPacket(const Packet& p, bool uplink) {
 }
 
 const BinnedSeries& CaptureAgent::series(Channel c) const {
-  return channels_.at(static_cast<int>(c));
+  return channels_[static_cast<std::size_t>(c)];
 }
 
 const BinnedSeries& CaptureAgent::protoSeries(IpProto proto, bool uplink) const {
-  return protos_.at(static_cast<int>(proto) * 2 + (uplink ? 1 : 0));
+  return protos_[static_cast<std::size_t>(proto) * 2 + (uplink ? 1 : 0)];
 }
 
 std::optional<TimePoint> CaptureAgent::firstUplinkAction(std::uint64_t actionId) const {
-  const auto it = firstUpAction_.find(actionId);
-  if (it == firstUpAction_.end()) return std::nullopt;
-  return it->second;
+  const TimePoint* t = firstUpAction_.find(actionId);
+  if (t == nullptr) return std::nullopt;
+  return *t;
 }
 
 std::optional<TimePoint> CaptureAgent::firstDownlinkAction(std::uint64_t actionId) const {
-  const auto it = firstDownAction_.find(actionId);
-  if (it == firstDownAction_.end()) return std::nullopt;
-  return it->second;
+  const TimePoint* t = firstDownAction_.find(actionId);
+  if (t == nullptr) return std::nullopt;
+  return *t;
 }
 
 DataRate CaptureAgent::meanRate(Channel c, std::size_t fromSec,

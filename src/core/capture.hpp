@@ -6,12 +6,13 @@
 // bins wire bytes into control/data channels by server address, exactly the
 // way the paper classified flows by server hostname/owner.
 
+#include <array>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/node.hpp"
 #include "platform/deployment.hpp"
+#include "util/flatmap.hpp"
 #include "util/timeseries.hpp"
 
 namespace msim {
@@ -83,12 +84,15 @@ class CaptureAgent {
 
   Simulator& sim_;
   const PlatformDeployment& deployment_;
-  std::unordered_map<int, BinnedSeries> channels_;
-  std::unordered_map<int, BinnedSeries> protos_;  // key: proto*2 + uplink
+  // Both key spaces are tiny and dense (5 channels, 3 protocols x 2
+  // directions), so plain arrays replace hash maps: O(1) lookups with no
+  // hashing and no iteration-order hazard at all.
+  std::array<BinnedSeries, 5> channels_;  // indexed by Channel
+  std::array<BinnedSeries, 6> protos_;    // indexed by proto*2 + uplink
   std::vector<PacketRecord> records_;
   bool storeRecords_{true};
-  std::unordered_map<std::uint64_t, TimePoint> firstUpAction_;
-  std::unordered_map<std::uint64_t, TimePoint> firstDownAction_;
+  FlatMap64<TimePoint> firstUpAction_;    // actionId -> first uplink time
+  FlatMap64<TimePoint> firstDownAction_;  // actionId -> first downlink time
   std::uint64_t packets_{0};
 };
 

@@ -9,8 +9,7 @@ LatencyProbe::LatencyProbe(Testbed& bed, TestUser& sender, TestUser& receiver)
                                                   bed_.sim().rng());
   receiverOffsetEst_ = AdbClockSync::estimateOffset(*receiver_.headset,
                                                     bed_.sim().rng());
-  serverTimes_ = std::make_shared<
-      std::unordered_map<std::uint64_t, std::pair<TimePoint, TimePoint>>>();
+  serverTimes_ = std::make_shared<FlatMap64<std::pair<TimePoint, TimePoint>>>();
   auto times = serverTimes_;
   // Record only the forward that reaches *our* probe receiver; an event may
   // fan out to many users, each with its own queueing delay.
@@ -18,7 +17,10 @@ LatencyProbe::LatencyProbe(Testbed& bed, TestUser& sender, TestUser& receiver)
   bed_.deployment().room()->hooks().onActionForwarded =
       [times, receiverId](std::uint64_t actionId, std::uint64_t toUser,
                           TimePoint in, TimePoint out) {
-        if (toUser == receiverId) times->emplace(actionId, std::make_pair(in, out));
+        // Keep the first forward only (emplace semantics).
+        if (toUser == receiverId && !times->contains(actionId)) {
+          times->insert(actionId, std::make_pair(in, out));
+        }
       };
 }
 
@@ -67,10 +69,11 @@ LatencyStats LatencyProbe::collect() const {
     const auto upAtSenderAp = sender_.capture->firstUplinkAction(probe.actionId);
     const auto downAtReceiverAp =
         receiver_.capture->firstDownlinkAction(probe.actionId);
-    const auto serverIt = serverTimes_->find(probe.actionId);
-    if (upAtSenderAp && downAtReceiverAp && serverIt != serverTimes_->end()) {
+    const std::pair<TimePoint, TimePoint>* serverSpan =
+        serverTimes_->find(probe.actionId);
+    if (upAtSenderAp && downAtReceiverAp && serverSpan != nullptr) {
       s.senderMs = (*upAtSenderAp - probe.performedAt).toMillis();
-      s.serverMs = (serverIt->second.second - serverIt->second.first).toMillis();
+      s.serverMs = (serverSpan->second - serverSpan->first).toMillis();
       s.networkMs =
           (*downAtReceiverAp - *upAtSenderAp).toMillis() - s.serverMs;
       s.receiverMs = s.e2eMs - s.senderMs - s.serverMs - s.networkMs;

@@ -14,9 +14,11 @@
 //   receiver = E2E - sender - server - network
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "util/flatmap.hpp"
 #include "util/stats.hpp"
 
 namespace msim {
@@ -70,8 +72,7 @@ class LatencyProbe {
   };
   std::vector<Probe> probes_;
   // Server in/out times per action, from the relay's ground-truth hook.
-  std::shared_ptr<std::unordered_map<std::uint64_t, std::pair<TimePoint, TimePoint>>>
-      serverTimes_;
+  std::shared_ptr<FlatMap64<std::pair<TimePoint, TimePoint>>> serverTimes_;
 };
 
 }  // namespace msim

@@ -42,11 +42,10 @@ InternetFabric::CoreInfo& InternetFabric::coreInfo(const Region& region) {
     other.router->addHostRoute(self.router->primaryAddress(), devOther);
     self.router->addHostRoute(other.router->primaryAddress(), devSelf);
   }
-  for (const auto& [hostNode, hostInfo] : hosts_) {
-    if (hostInfo.region.name != region.name) {
-      routeFromCore(self, hostInfo.addr, hostInfo.region, nullptr);
+  for (const HostEntry& host : hosts_) {
+    if (host.info.region.name != region.name) {
+      routeFromCore(self, host.info.addr, host.info.region, nullptr);
     }
-    (void)hostNode;
   }
   return self;
 }
@@ -85,7 +84,7 @@ void InternetFabric::attachExistingHost(Node& host, const Region& region,
   auto [hostDev, coreDev] = Link::connect(host, *core.router, cfg);
   host.setDefaultRoute(hostDev);
 
-  hosts_[&host] = HostInfo{region, addr, &coreDev};
+  hosts_.push_back(HostEntry{&host, HostInfo{region, addr, &coreDev}});
 
   // Every core learns how to reach this host.
   for (auto& [coreName, info] : cores_) {
@@ -106,18 +105,18 @@ void InternetFabric::advertiseAnycast(Ipv4Address addr,
     Node* best = nullptr;
     Duration bestDelay = Duration::max();
     for (Node* replica : replicas) {
-      const auto it = hosts_.find(replica);
-      if (it == hosts_.end()) continue;
-      const Duration d = core.region.name == it->second.region.name
+      const HostInfo* hostInfo = findHost(replica);
+      if (hostInfo == nullptr) continue;
+      const Duration d = core.region.name == hostInfo->region.name
                              ? Duration::zero()
-                             : interRegionDelay(core.region, it->second.region);
+                             : interRegionDelay(core.region, hostInfo->region);
       if (d < bestDelay) {
         bestDelay = d;
         best = replica;
       }
     }
     if (best == nullptr) continue;
-    const HostInfo& info = hosts_.at(best);
+    const HostInfo& info = *findHost(best);
     routeFromCore(core, addr, info.region,
                   info.region.name == core.region.name ? info.coreSideDevice
                                                        : nullptr);
@@ -125,9 +124,9 @@ void InternetFabric::advertiseAnycast(Ipv4Address addr,
 }
 
 void InternetFabric::addHostAlias(Node& attachedHost, Ipv4Address extraAddr) {
-  const auto it = hosts_.find(&attachedHost);
-  if (it == hosts_.end()) return;
-  const HostInfo& info = it->second;
+  const HostInfo* found = findHost(&attachedHost);
+  if (found == nullptr) return;
+  const HostInfo& info = *found;
   for (auto& [coreName, core] : cores_) {
     routeFromCore(core, extraAddr, info.region,
                   core.region.name == info.region.name ? info.coreSideDevice
@@ -136,8 +135,16 @@ void InternetFabric::addHostAlias(Node& attachedHost, Ipv4Address extraAddr) {
 }
 
 const Region* InternetFabric::regionOf(const Node* host) const {
-  const auto it = hosts_.find(host);
-  return it != hosts_.end() ? &it->second.region : nullptr;
+  const HostInfo* info = findHost(host);
+  return info != nullptr ? &info->region : nullptr;
+}
+
+const InternetFabric::HostInfo* InternetFabric::findHost(
+    const Node* host) const {
+  for (const HostEntry& e : hosts_) {
+    if (e.node == host) return &e.info;
+  }
+  return nullptr;
 }
 
 }  // namespace msim

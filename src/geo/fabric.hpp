@@ -74,6 +74,12 @@ class InternetFabric {
     Ipv4Address addr;
     NetDevice* coreSideDevice{nullptr};  // device on the core toward the host
   };
+  struct HostEntry {
+    const Node* node{nullptr};
+    HostInfo info;
+  };
+
+  [[nodiscard]] const HostInfo* findHost(const Node* host) const;
 
   CoreInfo& coreInfo(const Region& region);
   /// Installs a route to `addr` in core `from` pointing toward `toRegion`
@@ -83,7 +89,10 @@ class InternetFabric {
 
   Network& net_;
   std::map<std::string, CoreInfo> cores_;
-  std::map<const Node*, HostInfo> hosts_;
+  // Attachment order, not address order: iteration over hosts must be
+  // deterministic, and pointer keys are not (detlint R3). Lookups are linear,
+  // which is fine at fabric scale (tens of hosts).
+  std::vector<HostEntry> hosts_;
   int coreAddrCounter_{0};
 };
 

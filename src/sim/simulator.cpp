@@ -195,6 +195,7 @@ std::size_t Simulator::run(TimePoint limit) {
       Slot& slot = slotAt(ref.slot);
       if (slot.generation != ref.gen || !slot.live) continue;  // cancelled
       now_ = time;
+      if (auditor_) auditor_->onEvent(top.timeNs, ref.slot, ref.gen);
       // Retire the slot before invoking — valid() reads false and cancel()
       // is a no-op while the callback runs — but keep it off the free list
       // until afterwards, so the callback executes in place (slot addresses

@@ -22,8 +22,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "util/function.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -103,6 +105,50 @@ class Simulator {
   /// The simulation-wide random source.
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  // ---- determinism auditing (opt-in; see audit/auditor.hpp) --------------
+
+  /// Starts chaining an FNV-1a digest over every subsequently dispatched
+  /// event (time, slot, generation). With `recordTrail` the per-event chain
+  /// values are kept so divergence reports can name the first mismatching
+  /// event index. Idempotent while enabled.
+  audit::EventAuditor& enableAudit(bool recordTrail = false) {
+    if (!auditor_ || auditor_->recordsTrail() != recordTrail) {
+      auditor_ = std::make_unique<audit::EventAuditor>(recordTrail);
+    }
+    return *auditor_;
+  }
+  void disableAudit() { auditor_.reset(); }
+  [[nodiscard]] bool auditEnabled() const { return auditor_ != nullptr; }
+
+  /// The run's determinism fingerprint: the event chain combined with the
+  /// RNG draw counter, so a run that consumed a different number of random
+  /// samples diverges even if it dispatched the same events. Zero while
+  /// auditing is disabled.
+  [[nodiscard]] std::uint64_t auditDigest() const {
+    return auditor_ ? audit::combine(auditor_->digest(), rng_.draws()) : 0;
+  }
+
+  /// Digest, event count, and trail in one comparable value (see
+  /// audit::RunFingerprint); used by the cross-thread-count verifier.
+  [[nodiscard]] audit::RunFingerprint auditFingerprint() const {
+    audit::RunFingerprint fp;
+    if (auditor_) {
+      fp.digest = auditDigest();
+      fp.events = auditor_->eventCount();
+      fp.trail = auditor_->trail();
+    }
+    return fp;
+  }
+
+  /// Folds an application tag (message kind text, payload identity) into
+  /// the audit chain; no-op while auditing is disabled.
+  void auditNote(std::uint64_t tag) {
+    if (auditor_) auditor_->note(tag);
+  }
+  void auditNote(std::string_view tag) {
+    if (auditor_) auditor_->note(tag);
+  }
+
  private:
   friend class EventId;
 
@@ -180,6 +226,7 @@ class Simulator {
   std::uint32_t slotCount_{0};
   std::vector<std::uint32_t> freeSlots_;
   Rng rng_;
+  std::unique_ptr<audit::EventAuditor> auditor_;
 };
 
 inline bool EventId::valid() const {

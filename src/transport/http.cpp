@@ -63,14 +63,17 @@ void HttpServer::handle(TlsStreamServer::ConnId id, const Message& m) {
 HttpClient::HttpClient(Node& node) : node_{node} {}
 
 HttpClient::Conn& HttpClient::connFor(const Endpoint& server) {
-  auto it = conns_.find(server);
-  if (it != conns_.end() && !it->second.failed) return it->second;
-  if (it != conns_.end()) conns_.erase(it);
+  const std::uint64_t key = endpointKey(server);
+  if (std::shared_ptr<Conn>* existing = conns_.find(key)) {
+    if (!(*existing)->failed) return **existing;
+    conns_.erase(key);
+  }
 
-  auto [newIt, _] = conns_.emplace(server, Conn{});
-  Conn& conn = newIt->second;
+  auto fresh = std::make_shared<Conn>();
+  conns_.insert(key, fresh);
+  Conn& conn = *fresh;
   conn.stream = std::make_unique<TlsStreamClient>(node_);
-  Conn* connPtr = &conn;
+  Conn* connPtr = fresh.get();
   conn.stream->onMessage([this, connPtr](const Message& m) {
     if (!m.kind.startsWith(httpmsg::kResponsePrefix)) return;
     if (connPtr->inflight.empty()) return;
@@ -119,19 +122,20 @@ void HttpClient::request(const Endpoint& server, HttpRequest req,
 }
 
 bool HttpClient::busy() const {
-  for (const auto& [ep, conn] : conns_) {
-    if (!conn.failed && !conn.inflight.empty()) return true;
-  }
-  return false;
+  bool any = false;
+  conns_.forEach([&any](std::uint64_t, const std::shared_ptr<Conn>& conn) {
+    if (!conn->failed && !conn->inflight.empty()) any = true;
+  });
+  return any;
 }
 
 Duration HttpClient::maxAckStallAge() const {
   Duration worst = Duration::zero();
-  for (const auto& [ep, conn] : conns_) {
-    if (conn.failed || conn.stream == nullptr) continue;
-    const Duration age = conn.stream->ackStallAge();
+  conns_.forEach([&worst](std::uint64_t, const std::shared_ptr<Conn>& conn) {
+    if (conn->failed || conn->stream == nullptr) return;
+    const Duration age = conn->stream->ackStallAge();
     if (age > worst) worst = age;
-  }
+  });
   return worst;
 }
 

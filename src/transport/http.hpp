@@ -13,9 +13,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "transport/tls.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -95,8 +95,16 @@ class HttpClient {
 
   Conn& connFor(const Endpoint& server);
 
+  /// Endpoints pack losslessly into 64 bits (IPv4 address + port), which
+  /// keys the flat map below without hashing a struct.
+  [[nodiscard]] static std::uint64_t endpointKey(const Endpoint& e) {
+    return (std::uint64_t{e.addr.value()} << 16) | e.port;
+  }
+
   Node& node_;
-  std::unordered_map<Endpoint, Conn> conns_;
+  // Conns live behind a pointer so in-flight completion lambdas survive the
+  // map rehashing underneath them.
+  FlatMap64<std::shared_ptr<Conn>> conns_;
 };
 
 /// Message kind prefixes used on the wire ("inside the encryption"; the

@@ -23,7 +23,7 @@ std::uint16_t TransportMux::allocEphemeralPort() {
   for (int attempts = 0; attempts < 16384; ++attempts) {
     const std::uint16_t candidate = nextEphemeral_;
     nextEphemeral_ = nextEphemeral_ >= 65535 ? 49152 : nextEphemeral_ + 1;
-    if (udp_.count(candidate) == 0 && tcpListeners_.count(candidate) == 0) {
+    if (!udp_.contains(candidate) && !tcpListeners_.contains(candidate)) {
       return candidate;
     }
   }
@@ -55,9 +55,8 @@ void TransportMux::unbindTcpListener(std::uint16_t port) {
 void TransportMux::dispatch(const Packet& p) {
   switch (p.proto) {
     case IpProto::Udp: {
-      const auto it = udp_.find(p.dstPort);
-      if (it != udp_.end()) {
-        it->second->deliver(p);
+      if (UdpSocket* const* sock = udp_.find(p.dstPort)) {
+        (*sock)->deliver(p);
       } else {
         // Port unreachable — this is what terminates a UDP traceroute.
         Packet icmp;
@@ -84,8 +83,8 @@ void TransportMux::dispatch(const Packet& p) {
       const TcpHeader* h = p.tcp();
       if (h == nullptr) return;
       if (h->syn && !h->ackFlag) {
-        if (const auto lit = tcpListeners_.find(p.dstPort); lit != tcpListeners_.end()) {
-          lit->second->handleSyn(p);
+        if (TcpListener* const* listener = tcpListeners_.find(p.dstPort)) {
+          (*listener)->handleSyn(p);
           return;
         }
       }

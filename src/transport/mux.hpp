@@ -10,10 +10,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -54,7 +54,7 @@ class TransportMux {
   void unbindTcpListener(std::uint16_t port);
 
   [[nodiscard]] bool udpPortBound(std::uint16_t port) const {
-    return udp_.count(port) > 0;
+    return udp_.contains(port);
   }
 
  private:
@@ -62,9 +62,9 @@ class TransportMux {
 
   Node& node_;
   std::uint16_t nextEphemeral_{49152};
-  std::unordered_map<std::uint16_t, UdpSocket*> udp_;
+  FlatMap64<UdpSocket*> udp_;              // port -> socket
   std::map<TcpConnKey, TcpSocket*> tcpConns_;
-  std::unordered_map<std::uint16_t, TcpListener*> tcpListeners_;
+  FlatMap64<TcpListener*> tcpListeners_;   // port -> listener
 };
 
 }  // namespace msim

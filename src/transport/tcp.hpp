@@ -24,6 +24,7 @@
 
 #include "net/packet.hpp"
 #include "transport/mux.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -244,7 +245,7 @@ class TcpListener {
   std::uint16_t port_;
   TcpConfig cfg_;
   AcceptHandler onAccept_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<TcpSocket>> accepted_;
+  FlatMap64<std::shared_ptr<TcpSocket>> accepted_;  // serial -> socket
 };
 
 }  // namespace msim

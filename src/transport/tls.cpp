@@ -83,15 +83,15 @@ void TlsStreamServer::handleAccepted(const std::shared_ptr<TcpSocket>& sock) {
   const ConnId id = nextId_++;
   conns_[id] = Conn{sock, false};
   sock->onMessage([this, id](const Message& m) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
-    if (!it->second.handshakeDone) {
+    Conn* conn = conns_.find(id);
+    if (conn == nullptr) return;
+    if (!conn->handshakeDone) {
       if (m.kind == tlsmsg::kClientHello) {
-        it->second.sock->send(handshakeMessage(tlsmsg::kServerFlight, profile_.serverFlight));
+        conn->sock->send(handshakeMessage(tlsmsg::kServerFlight, profile_.serverFlight));
         return;
       }
       if (m.kind == tlsmsg::kClientFinished) {
-        it->second.handshakeDone = true;
+        conn->handshakeDone = true;
         if (onConnected_) onConnected_(id);
         return;
       }
@@ -100,25 +100,21 @@ void TlsStreamServer::handleAccepted(const std::shared_ptr<TcpSocket>& sock) {
     if (onMessage_) onMessage_(id, m);
   });
   sock->onClose([this, id] {
-    if (conns_.erase(id) > 0 && onDisconnected_) onDisconnected_(id);
+    if (conns_.erase(id) && onDisconnected_) onDisconnected_(id);
   });
 }
 
 void TlsStreamServer::sendTo(ConnId id, Message m) {
-  const auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  it->second.sock->send(std::move(m));
+  if (Conn* conn = conns_.find(id)) conn->sock->send(std::move(m));
 }
 
 void TlsStreamServer::closeConn(ConnId id) {
-  const auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  it->second.sock->close();
+  if (Conn* conn = conns_.find(id)) conn->sock->close();
 }
 
 Endpoint TlsStreamServer::peerOf(ConnId id) const {
-  const auto it = conns_.find(id);
-  return it != conns_.end() ? it->second.sock->remote() : Endpoint{};
+  const Conn* conn = conns_.find(id);
+  return conn != nullptr ? conn->sock->remote() : Endpoint{};
 }
 
 }  // namespace msim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "transport/tcp.hpp"
+#include "util/flatmap.hpp"
 
 namespace msim {
 
@@ -112,7 +113,7 @@ class TlsStreamServer {
   ConnHandler onDisconnected_;
   MessageHandler onMessage_;
   std::uint64_t nextId_{1};
-  std::unordered_map<ConnId, Conn> conns_;
+  FlatMap64<Conn> conns_;  // ConnId -> Conn, deterministic iteration
 };
 
 }  // namespace msim

@@ -16,6 +16,7 @@
 // global state — so simulations that iterate these tables stay bit-identical
 // across runs and across seed-sweep thread counts.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -114,7 +115,33 @@ class FlatMap64 {
     }
   }
 
+  /// Visits every (key, value) in ascending key order — the sanctioned way
+  /// to iterate when the visit order is observable (fan-out, reports,
+  /// digests): sorted-by-key order depends on the keys alone, never on
+  /// insertion/erase history or table capacity. Costs one index sort per
+  /// call; do not insert or erase from inside `fn`.
+  template <typename Fn>
+  void forEachOrdered(Fn&& fn) const {
+    for (const std::size_t i : orderedSlots()) fn(cells_[i].key, cells_[i].value);
+  }
+  template <typename Fn>
+  void forEachOrdered(Fn&& fn) {
+    for (const std::size_t i : orderedSlots()) fn(cells_[i].key, cells_[i].value);
+  }
+
  private:
+  [[nodiscard]] std::vector<std::size_t> orderedSlots() const {
+    std::vector<std::size_t> slots;
+    slots.reserve(size_);
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (used_[i]) slots.push_back(i);
+    }
+    std::sort(slots.begin(), slots.end(), [this](std::size_t a, std::size_t b) {
+      return cells_[a].key < cells_[b].key;
+    });
+    return slots;
+  }
+
   struct Cell {
     std::uint64_t key{0};
     V value{};
@@ -136,7 +163,8 @@ class FlatMap64 {
   void rehash(std::size_t newCapacity) {
     std::vector<Cell> oldCells = std::move(cells_);
     std::vector<std::uint8_t> oldUsed = std::move(used_);
-    cells_.assign(newCapacity, Cell{});
+    cells_.clear();
+    cells_.resize(newCapacity);  // resize, not assign: move-only V works
     used_.assign(newCapacity, 0);
     mask_ = newCapacity - 1;
     size_ = 0;

@@ -13,6 +13,8 @@ struct InternTable {
   // Owned strings live in a deque so their addresses are stable; the map
   // keys view into them.
   std::deque<std::string> storage;
+  // detlint:allow(unordered-iter) lookup-only dedup table behind a mutex; it
+  // is never iterated, so its order can't leak into simulation behaviour.
   std::unordered_map<std::string_view, const std::string*> byText;
 };
 

@@ -1,0 +1,225 @@
+// Unit tests for detlint, the determinism static-analysis pass. These scan
+// in-memory fixture snippets so the expected findings are explicit; the
+// shipped tree itself is gated by the DetlintTreeClean CTest (which runs
+// tools/run_detlint.sh over src/, tools/, bench/).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+using detlint::Finding;
+using detlint::Rule;
+
+std::vector<Finding> scan(std::string_view src,
+                          const detlint::Options& opts = {}) {
+  return detlint::scanSource(src, "fixture.cpp", opts);
+}
+
+bool hasFinding(const std::vector<Finding>& fs, Rule rule, int line) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+// ----------------------------------------------------------- R1 unordered
+
+TEST(DetlintR1, FlagsUnorderedMapAndSet) {
+  const auto fs = scan(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "std::unordered_set<long> s;\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(hasFinding(fs, Rule::UnorderedIter, 2));
+  EXPECT_TRUE(hasFinding(fs, Rule::UnorderedIter, 3));
+}
+
+TEST(DetlintR1, IncludeLineAloneIsNotAFinding) {
+  EXPECT_TRUE(scan("#include <unordered_map>\n#include <ctime>\n").empty());
+}
+
+TEST(DetlintR1, NamesInsideStringsAndCommentsAreIgnored) {
+  const auto fs = scan(
+      "const char* kDoc = \"prefer unordered_map here\";\n"
+      "// unordered_map is mentioned but not used\n"
+      "/* std::unordered_set<int> s; */\n"
+      "char c = '\\\"'; int unordered_map_count = 0;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR1, OrderedContainersAreClean) {
+  EXPECT_TRUE(
+      scan("std::map<int, int> m;\nstd::set<long> s;\nmsim::FlatMap64<int> f;\n")
+          .empty());
+}
+
+// ---------------------------------------------------------- R2 wall clock
+
+TEST(DetlintR2, FlagsAmbientTimeAndEntropy) {
+  const auto fs = scan(
+      "std::random_device rd;\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto w = std::chrono::system_clock::now();\n"
+      "long x = time(nullptr);\n"
+      "int r = rand();\n"
+      "std::srand(42);\n");
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 2));
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 3));
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 4));
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 5));
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 6));
+}
+
+TEST(DetlintR2, MemberAndQualifiedLookalikesAreClean) {
+  const auto fs = scan(
+      "auto now = sim.time();\n"          // member call
+      "auto t = bed->clock();\n"          // arrow member call
+      "auto d = Duration::time(3);\n"     // non-std qualifier
+      "int time = 3; int y = time + 1;\n"  // variable named time, no call
+      "double r = rng.uniform(0.0, 1.0);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR2, AllowlistedShimIsExempt) {
+  detlint::Options opts;
+  opts.wallClockAllowlist.push_back("fixture.cpp");
+  EXPECT_TRUE(scan("std::random_device rd;\nint r = rand();\n", opts).empty());
+}
+
+// --------------------------------------------------------- R3 pointer key
+
+TEST(DetlintR3, FlagsPointerKeyedContainers) {
+  const auto fs = scan(
+      "std::map<Room*, int> byRoom;\n"
+      "std::set<const User*> users;\n"
+      "std::map<std::shared_ptr<Room>, int> byHandle;\n"
+      "std::map<uintptr_t, int> byAddr;\n");
+  ASSERT_EQ(fs.size(), 4u);
+  for (int line = 1; line <= 4; ++line) {
+    EXPECT_TRUE(hasFinding(fs, Rule::PointerKey, line)) << line;
+  }
+}
+
+TEST(DetlintR3, PointerValuesAndValueKeysAreClean) {
+  const auto fs = scan(
+      "std::map<std::uint64_t, Room*> rooms;\n"
+      "std::map<TcpConnKey, TcpSocket*> conns;\n"
+      "std::set<std::uint64_t> ids;\n"
+      "bool lt = a < b;\n");  // '<' that is a comparison, not a template
+  EXPECT_TRUE(fs.empty());
+}
+
+// --------------------------------------------------- pragmas and R4 hygiene
+
+TEST(DetlintPragma, SameLineSuppression) {
+  const auto fs = scan(
+      "std::unordered_map<int, int> m;  // detlint:allow(unordered-iter) "
+      "lookup only, never iterated\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintPragma, CommentAboveSuppressesNextCodeLine) {
+  const auto fs = scan(
+      "// detlint:allow(unordered-iter) dedup table; never iterated, so\n"
+      "// order cannot leak into the simulation.\n"
+      "std::unordered_map<int, int> m;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintPragma, SuppressionIsRuleScoped) {
+  // An unordered-iter pragma must not hide a wall-clock finding.
+  const auto fs = scan(
+      "// detlint:allow(unordered-iter) justified elsewhere\n"
+      "int r = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::WallClock);
+}
+
+TEST(DetlintPragma, FileScopeCoversWholeFile) {
+  const auto fs = scan(
+      "// detlint:allow-file(wall-clock) this tool reports real timings\n"
+      "int a = rand();\n"
+      "long b = time(nullptr);\n"
+      "std::unordered_map<int, int> m;\n");
+  ASSERT_EQ(fs.size(), 1u);  // the unordered_map is still flagged
+  EXPECT_EQ(fs[0].rule, Rule::UnorderedIter);
+}
+
+TEST(DetlintPragma, MissingJustificationIsAFinding) {
+  const auto fs = scan(
+      "std::unordered_map<int, int> m;  // detlint:allow(unordered-iter)\n");
+  // The pragma is malformed, so it reports R4 AND fails to suppress R1.
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(hasFinding(fs, Rule::Pragma, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::UnorderedIter, 1));
+}
+
+TEST(DetlintPragma, UnknownRuleNameIsAFinding) {
+  const auto fs = scan("// detlint:allow(no-such-rule) because reasons\nint x;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::Pragma);
+  EXPECT_NE(fs[0].message.find("no-such-rule"), std::string::npos);
+}
+
+// ----------------------------------------------------- baseline + formats
+
+TEST(DetlintBaseline, RoundTripSuppressesExactFindings) {
+  const auto fs = scan("std::unordered_map<int, int> m;\nint r = rand();\n");
+  ASSERT_EQ(fs.size(), 2u);
+
+  const std::string path = ::testing::TempDir() + "detlint_baseline_test.txt";
+  {
+    std::ofstream out{path};
+    // Baseline only the unordered_map finding.
+    out << "# comment line\n" << fs[0].key() << "\n";
+  }
+  detlint::Baseline baseline;
+  ASSERT_TRUE(baseline.load(path));
+  EXPECT_EQ(baseline.size(), 1u);
+  const auto remaining = detlint::applyBaseline(fs, baseline);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, Rule::WallClock);
+  std::remove(path.c_str());
+}
+
+TEST(DetlintBaseline, SerializeIsSortedAndCommented) {
+  const auto fs = scan("int r = rand();\nstd::unordered_map<int, int> m;\n");
+  const std::string text = detlint::Baseline::serialize(fs);
+  EXPECT_NE(text.find("# detlint baseline"), std::string::npos);
+  EXPECT_NE(text.find("fixture.cpp:1:wall-clock"), std::string::npos);
+  EXPECT_NE(text.find("fixture.cpp:2:unordered-iter"), std::string::npos);
+}
+
+TEST(DetlintFormat, TextAndJsonAndExitCodes) {
+  const auto clean = scan("int x = 1;\n");
+  EXPECT_EQ(detlint::exitCodeFor(clean), 0);
+  EXPECT_EQ(detlint::formatJson(clean), "[]\n");
+
+  const auto fs = scan("std::unordered_map<int, int> m;\n");
+  EXPECT_EQ(detlint::exitCodeFor(fs), 1);
+  const std::string text = detlint::formatText(fs);
+  EXPECT_NE(text.find("fixture.cpp:1: [unordered-iter]"), std::string::npos);
+  const std::string json = detlint::formatJson(fs);
+  EXPECT_NE(json.find("\"rule\": \"unordered-iter\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+TEST(DetlintLexer, RawStringsAndLineContinuationsAreHandled) {
+  const auto fs = scan(
+      "const char* q = R\"(std::unordered_map<int,int> decoy; rand();)\";\n"
+      "#define LONG_MACRO \\\n"
+      "  unordered_map\n"
+      "std::unordered_map<int, int> real;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::UnorderedIter, 4));
+}
+
+}  // namespace

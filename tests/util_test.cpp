@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "util/flatmap.hpp"
 #include "util/function.hpp"
@@ -493,6 +495,54 @@ TEST(FlatMap64Test, ForEachVisitsEveryEntryExactlyOnce) {
   });
   EXPECT_EQ(seen.size(), 100u);
   EXPECT_EQ(sum, 5050);
+}
+
+TEST(FlatMap64Test, ForEachOrderedVisitsAscendingByKey) {
+  FlatMap64<int> m;
+  // Insertion order deliberately scrambled; keys include clustered values
+  // that collide into nearby slots.
+  const std::uint64_t keys[] = {901, 3, 512, 4, 511, 77, 900, 1, 513};
+  for (std::uint64_t k : keys) m.insert(k, static_cast<int>(k * 2));
+  std::vector<std::uint64_t> visited;
+  m.forEachOrdered([&](std::uint64_t k, int& v) {
+    EXPECT_EQ(v, static_cast<int>(k * 2));
+    visited.push_back(k);
+  });
+  ASSERT_EQ(visited.size(), std::size(keys));
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+  // Const overload sees the same order.
+  const FlatMap64<int>& cm = m;
+  std::vector<std::uint64_t> constVisited;
+  cm.forEachOrdered(
+      [&](std::uint64_t k, const int&) { constVisited.push_back(k); });
+  EXPECT_EQ(constVisited, visited);
+}
+
+TEST(FlatMap64Test, ForEachOrderedIndependentOfMutationHistory) {
+  // Two maps with identical final contents but different insert/erase
+  // histories (so different slot layouts) must produce the same ordered walk.
+  FlatMap64<int> a;
+  FlatMap64<int> b;
+  for (std::uint64_t k = 1; k <= 64; ++k) a.insert(k, static_cast<int>(k));
+  for (std::uint64_t k = 64; k >= 1; --k) b.insert(k, static_cast<int>(k));
+  for (std::uint64_t k = 100; k < 200; ++k) b.insert(k, 0);
+  for (std::uint64_t k = 100; k < 200; ++k) b.erase(k);
+  std::vector<std::uint64_t> orderA;
+  std::vector<std::uint64_t> orderB;
+  a.forEachOrdered([&](std::uint64_t k, int&) { orderA.push_back(k); });
+  b.forEachOrdered([&](std::uint64_t k, int&) { orderB.push_back(k); });
+  EXPECT_EQ(orderA, orderB);
+}
+
+TEST(FlatMap64Test, MoveOnlyValuesSurviveRehash) {
+  FlatMap64<std::unique_ptr<int>> m;
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    m.insert(k, std::make_unique<int>(static_cast<int>(k)));
+  }
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(**m.find(k), static_cast<int>(k));
+  }
 }
 
 TEST(FlatMap64Test, ClearAndReserve) {

@@ -1,0 +1,619 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------- lexing
+
+// One significant element of the source: an identifier or a single
+// punctuation character. Comments and string/char literals never become
+// tokens (pragmas are collected separately), so rule matching cannot be
+// fooled by banned names inside strings or prose.
+struct Token {
+  std::string text;  // identifier text, or one punctuation char
+  int line{1};
+  bool ident{false};
+};
+
+struct Pragma {
+  int line{1};              // line the pragma text sits on
+  bool fileScope{false};    // allow-file
+  std::vector<Rule> rules;  // rules it suppresses
+  bool malformed{false};    // unknown rule or missing justification
+  std::string error;        // R4 message when malformed
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+};
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses every `detlint:allow...` marker inside one comment whose text
+/// starts at `startLine`. The justification must follow the rule list on the
+/// same physical line (continuation lines are free-form prose).
+void parsePragmas(std::string_view comment, int startLine,
+                  std::vector<Pragma>& out) {
+  std::size_t searchFrom = 0;
+  for (;;) {
+    const std::size_t at = comment.find("detlint:allow", searchFrom);
+    if (at == std::string_view::npos) return;
+    Pragma pragma;
+    pragma.line = startLine + static_cast<int>(std::count(
+                                  comment.begin(), comment.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
+    std::size_t i = at + std::string_view{"detlint:allow"}.size();
+    if (comment.substr(i, 5) == "-file") {
+      pragma.fileScope = true;
+      i += 5;
+    }
+    // Prose *mentioning* the pragma ("the detlint:allow marker...") is not a
+    // pragma: only the marker immediately followed by '(' is. A real typo
+    // here leaves the underlying finding unsuppressed, so it cannot hide.
+    if (i >= comment.size() || comment[i] != '(') {
+      searchFrom = i;
+      continue;
+    }
+    ++i;  // past '('
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string_view::npos) {
+      pragma.malformed = true;
+      pragma.error = "malformed detlint:allow pragma: missing ')'";
+      out.push_back(std::move(pragma));
+      searchFrom = i;
+      continue;
+    }
+    // Comma-separated rule names. Grammar metacharacters mean this is
+    // documentation *about* the pragma (`detlint:allow(<rule>[,...])`), not a
+    // pragma — skip it without a finding.
+    std::string_view list = comment.substr(i, close - i);
+    if (list.find_first_of("<>[]|.") != std::string_view::npos) {
+      searchFrom = close;
+      continue;
+    }
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view name = trim(list.substr(0, comma));
+      Rule rule;
+      if (!ruleFromName(name, rule)) {
+        pragma.malformed = true;
+        pragma.error = "unknown rule '" + std::string{name} +
+                       "' in detlint:allow (expected unordered-iter, "
+                       "wall-clock, pointer-key)";
+        break;
+      }
+      pragma.rules.push_back(rule);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    // Justification: the rest of the pragma's physical line.
+    if (!pragma.malformed) {
+      std::size_t lineEnd = comment.find('\n', close);
+      if (lineEnd == std::string_view::npos) lineEnd = comment.size();
+      const std::string_view justification =
+          trim(comment.substr(close + 1, lineEnd - close - 1));
+      if (justification.empty()) {
+        pragma.malformed = true;
+        pragma.error =
+            "detlint:allow pragma without a justification — say *why* the "
+            "suppressed construct cannot affect simulation order";
+      }
+    }
+    out.push_back(std::move(pragma));
+    searchFrom = close;
+  }
+}
+
+/// Strips comments, string literals (including raw strings), char literals,
+/// and preprocessor directives; returns identifier/punctuation tokens plus
+/// the pragmas found in comments.
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      parsePragmas(src.substr(i, end - i), line, out.pragmas);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      const std::string_view body = src.substr(i, end - i);
+      parsePragmas(body, line, out.pragmas);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim = std::string{src.substr(i + 2, d - (i + 2))};
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, d);
+      if (end == std::string_view::npos) end = n;
+      const std::string_view body = src.substr(i, end - i);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + closer.size();
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    // Char literal (distinguished from digit separators by context: we only
+    // get here outside identifiers/numbers).
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (minus continuations), so
+    // `#include <ctime>` is not a finding — usage is what gets flagged.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Identifier.
+    if (identStart(c)) {
+      std::size_t end = i + 1;
+      while (end < n && identChar(src[end])) ++end;
+      Token t;
+      t.text = std::string{src.substr(i, end - i)};
+      t.line = line;
+      t.ident = true;
+      out.tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    // Number: skip (digit separators, exponents, hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i + 1;
+      while (end < n && (identChar(src[end]) || src[end] == '.' ||
+                         ((src[end] == '+' || src[end] == '-') &&
+                          (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+                           src[end - 1] == 'p' || src[end - 1] == 'P')))) {
+        ++end;
+      }
+      i = end;
+      continue;
+    }
+    // Punctuation: kept one char at a time.
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      Token t;
+      t.text = std::string(1, c);
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+    }
+    ++i;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- rule engine
+
+bool isPunct(const Token& t, char c) {
+  return !t.ident && t.text.size() == 1 && t.text[0] == c;
+}
+
+/// Wall-clock *type* names: flagged anywhere they appear in code.
+bool wallClockType(std::string_view id) {
+  return id == "random_device" || id == "system_clock" ||
+         id == "steady_clock" || id == "high_resolution_clock" ||
+         id == "gettimeofday" || id == "clock_gettime" ||
+         id == "timespec_get" || id == "localtime" || id == "gmtime" ||
+         id == "mktime" || id == "drand48" || id == "srand48";
+}
+
+/// Wall-clock *function* names: flagged only as free or std-qualified calls,
+/// so `sim.time(...)`-style members and `Duration::seconds(...)` stay clean.
+bool wallClockCall(std::string_view id) {
+  return id == "rand" || id == "srand" || id == "time" || id == "clock";
+}
+
+bool orderedAssocName(std::string_view id) {
+  return id == "map" || id == "multimap" || id == "set" || id == "multiset";
+}
+
+bool pointerishKeyIdent(std::string_view id) {
+  return id == "uintptr_t" || id == "intptr_t" || id == "shared_ptr" ||
+         id == "unique_ptr";
+}
+
+struct Analyzer {
+  const std::vector<Token>& toks;
+  std::string_view filename;
+  const Options& opts;
+  std::vector<Finding> findings;
+
+  void report(int line, Rule rule, std::string message) {
+    Finding f;
+    f.file = std::string{filename};
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+  }
+
+  [[nodiscard]] bool wallClockAllowlisted() const {
+    for (const std::string& allowed : opts.wallClockAllowlist) {
+      if (filename.find(allowed) != std::string_view::npos) return true;
+    }
+    return false;
+  }
+
+  /// True when toks[i] is reached through `.` or `->` (member access).
+  [[nodiscard]] bool memberAccess(std::size_t i) const {
+    if (i == 0) return false;
+    if (isPunct(toks[i - 1], '.')) return true;
+    return i >= 2 && isPunct(toks[i - 1], '>') && isPunct(toks[i - 2], '-');
+  }
+
+  /// Identifier qualifying toks[i] via `::`, or empty when unqualified.
+  [[nodiscard]] std::string_view qualifier(std::size_t i) const {
+    if (i >= 3 && isPunct(toks[i - 1], ':') && isPunct(toks[i - 2], ':') &&
+        toks[i - 3].ident) {
+      return toks[i - 3].text;
+    }
+    return {};
+  }
+
+  /// Extracts the first template argument after toks[open] == '<' as a token
+  /// range [open+1, end); returns false when the template list never closes.
+  bool firstTemplateArg(std::size_t open, std::size_t& argEnd) const {
+    int depth = 1;
+    for (std::size_t j = open + 1; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.ident) continue;
+      const char c = t.text[0];
+      if (c == '<' || c == '(') ++depth;
+      if (c == '>' || c == ')') --depth;
+      if (c == ';' || c == '{') return false;  // `a < b` comparison, not a template
+      if (depth == 0 || (depth == 1 && c == ',')) {
+        argEnd = j;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (!t.ident) continue;
+      const std::string_view id = t.text;
+
+      // R1: unordered containers in sim-visible code.
+      if (id == "unordered_map" || id == "unordered_set" ||
+          id == "unordered_multimap" || id == "unordered_multiset") {
+        report(t.line, Rule::UnorderedIter,
+               "std::" + t.text +
+                   " in sim-visible code: hash-order iteration is "
+                   "nondeterministic; use util::FlatMap64 (forEachOrdered "
+                   "for sorted visits), an ordered container, or justify "
+                   "with detlint:allow(unordered-iter)");
+        checkPointerKey(i);
+        continue;
+      }
+
+      // R2: ambient time/entropy.
+      if (!wallClockAllowlisted()) {
+        if (wallClockType(id) && !memberAccess(i)) {
+          report(t.line, Rule::WallClock,
+                 "'" + t.text +
+                     "' samples ambient time/entropy: simulations must use "
+                     "Simulator::now() / Simulator::rng() so runs are "
+                     "reproducible (detlint:allow(wall-clock) if genuinely "
+                     "outside the simulation)");
+          continue;
+        }
+        if (wallClockCall(id) && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], '(') && !memberAccess(i)) {
+          const std::string_view qual = qualifier(i);
+          if (qual.empty() || qual == "std") {
+            report(t.line, Rule::WallClock,
+                   "call to '" + t.text +
+                       "' reads the wall clock / process entropy; use the "
+                       "simulation clock and seeded Rng instead");
+            continue;
+          }
+        }
+      }
+
+      // R3: pointer-keyed ordered containers (std::map<T*, ...> etc.).
+      if (orderedAssocName(id) && qualifier(i) == "std") checkPointerKey(i);
+    }
+  }
+
+  /// Inspects the key type of an associative container at toks[i].
+  void checkPointerKey(std::size_t i) {
+    if (i + 1 >= toks.size() || !isPunct(toks[i + 1], '<')) return;
+    std::size_t argEnd = 0;
+    if (!firstTemplateArg(i + 1, argEnd)) return;
+    for (std::size_t j = i + 2; j < argEnd; ++j) {
+      const Token& a = toks[j];
+      const bool pointer = !a.ident && a.text[0] == '*';
+      if (pointer || (a.ident && pointerishKeyIdent(a.text))) {
+        report(toks[i].line, Rule::PointerKey,
+               "container keyed on a pointer (" + toks[i].text +
+                   "<...>): address order varies run to run, so any "
+                   "iteration or ordering over it is nondeterministic; key "
+                   "on a stable id (serial, user id) instead");
+        return;
+      }
+    }
+  }
+};
+
+/// Line numbers that carry at least one code token, sorted ascending.
+std::vector<int> codeLines(const std::vector<Token>& toks) {
+  std::vector<int> lines;
+  for (const Token& t : toks) {
+    if (lines.empty() || lines.back() != t.line) lines.push_back(t.line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+const char* ruleName(Rule r) {
+  switch (r) {
+    case Rule::UnorderedIter: return "unordered-iter";
+    case Rule::WallClock: return "wall-clock";
+    case Rule::PointerKey: return "pointer-key";
+    case Rule::Pragma: return "pragma";
+  }
+  return "?";
+}
+
+bool ruleFromName(std::string_view name, Rule& out) {
+  if (name == "unordered-iter") { out = Rule::UnorderedIter; return true; }
+  if (name == "wall-clock") { out = Rule::WallClock; return true; }
+  if (name == "pointer-key") { out = Rule::PointerKey; return true; }
+  return false;
+}
+
+std::string Finding::key() const {
+  return file + ":" + std::to_string(line) + ":" + ruleName(rule);
+}
+
+std::vector<Finding> scanSource(std::string_view source,
+                                std::string_view filename,
+                                const Options& opts) {
+  const LexResult lexed = lex(source);
+  Analyzer analyzer{lexed.tokens, filename, opts, {}};
+  analyzer.run();
+
+  // Pragma hygiene first: malformed pragmas are findings of their own and
+  // never suppress anything.
+  std::vector<Finding> out;
+  for (const Pragma& p : lexed.pragmas) {
+    if (!p.malformed) continue;
+    Finding f;
+    f.file = std::string{filename};
+    f.line = p.line;
+    f.rule = Rule::Pragma;
+    f.message = p.error;
+    out.push_back(std::move(f));
+  }
+
+  // Suppression: a line pragma covers its own line and the next line that
+  // contains code (so a comment block directly above a declaration works);
+  // a file pragma covers the whole file for its rules.
+  const std::vector<int> lines = codeLines(lexed.tokens);
+  auto nextCodeLine = [&lines](int after) {
+    const auto it = std::lower_bound(lines.begin(), lines.end(), after);
+    return it != lines.end() ? *it : -1;
+  };
+  auto suppressed = [&](const Finding& f) {
+    for (const Pragma& p : lexed.pragmas) {
+      if (p.malformed) continue;
+      if (std::find(p.rules.begin(), p.rules.end(), f.rule) == p.rules.end()) {
+        continue;
+      }
+      if (p.fileScope) return true;
+      if (f.line == p.line || f.line == nextCodeLine(p.line + 1)) return true;
+    }
+    return false;
+  };
+  for (Finding& f : analyzer.findings) {
+    if (!suppressed(f)) out.push_back(std::move(f));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Finding> scanTree(const std::string& root,
+                              const std::vector<std::string>& paths,
+                              const Options& opts) {
+  namespace fs = std::filesystem;
+  const fs::path rootPath{root};
+  std::vector<fs::path> files;
+  auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".hxx" || ext == ".cpp" ||
+           ext == ".cc" || ext == ".cxx";
+  };
+  for (const std::string& rel : paths) {
+    const fs::path base = rootPath / rel;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+      continue;
+    }
+    for (fs::recursive_directory_iterator it{base, ec}, end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && wanted(it->path())) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::error_code ec;
+    fs::path rel = fs::relative(file, rootPath, ec);
+    const std::string name = (ec ? file : rel).generic_string();
+    auto fileFindings = scanSource(text, name, opts);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(fileFindings.begin()),
+                    std::make_move_iterator(fileFindings.end()));
+  }
+  return findings;
+}
+
+bool Baseline::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    keys_.emplace_back(trimmed);
+  }
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  return true;
+}
+
+bool Baseline::covers(const Finding& f) const {
+  return std::binary_search(keys_.begin(), keys_.end(), f.key());
+}
+
+std::string Baseline::serialize(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(f.key());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string out =
+      "# detlint baseline — tolerated pre-existing findings, burn down over "
+      "time.\n# Format: <file>:<line>:<rule>\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Finding> applyBaseline(std::vector<Finding> findings,
+                                   const Baseline& baseline) {
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) { return baseline.covers(f); }),
+                 findings.end());
+  return findings;
+}
+
+std::string formatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + ruleName(f.rule) +
+           "] " + f.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string formatJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\": \"" + jsonEscape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           ruleName(f.rule) + "\", \"message\": \"" + jsonEscape(f.message) +
+           "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace detlint

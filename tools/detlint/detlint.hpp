@@ -1,0 +1,117 @@
+#pragma once
+
+// detlint — the determinism static-analysis pass.
+//
+// The simulator's scientific claim is that one seed produces one behaviour
+// for any MSIM_THREADS. That property dies quietly: somebody range-iterates
+// an unordered_map whose order feeds an event, or samples a wall clock, and
+// no unit test notices until digests diverge weeks later. detlint walks the
+// sim-visible tree (src/, tools/, bench/) with a lightweight lexer — no
+// libclang — and enforces the project rules:
+//
+//   R1 unordered-iter  std::unordered_map / std::unordered_set in
+//                      sim-visible code. Hash order is pointer- and
+//                      libc-dependent; one range-for away from observable
+//                      nondeterminism. Use util::FlatMap64 (slot order is a
+//                      pure function of mutation history, forEachOrdered for
+//                      sorted visits), std::map/std::set, or annotate.
+//   R2 wall-clock      ambient time/entropy: std::random_device, rand,
+//                      srand, time, clock, system_clock / steady_clock /
+//                      high_resolution_clock, gettimeofday, ... outside an
+//                      allowlisted shim. Simulations must draw time from
+//                      Simulator::now() and randomness from Simulator::rng().
+//   R3 pointer-key     containers keyed on pointers (std::map<T*, ...>,
+//                      std::set<T*>, smart-pointer keys, uintptr_t keys):
+//                      address order changes run to run, so any iteration or
+//                      ordering over them is nondeterministic.
+//   R4 pragma          detlint:allow pragma hygiene — unknown rule names and
+//                      missing justifications are themselves findings.
+//
+// Suppression grammar (inside any comment):
+//   // detlint:allow(<rule>[,<rule>...]) <justification>       line + next
+//   // detlint:allow-file(<rule>[,<rule>...]) <justification>  whole file
+//
+// A baseline file (one "<file>:<line>:<rule>" per line, '#' comments) lets
+// pre-existing findings be burned down incrementally; the CI gate keeps the
+// tree at zero findings outside the baseline.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class Rule : std::uint8_t {
+  UnorderedIter,  // R1
+  WallClock,      // R2
+  PointerKey,     // R3
+  Pragma,         // R4
+};
+
+[[nodiscard]] const char* ruleName(Rule r);
+/// Parses a rule name ("unordered-iter", ...); returns false when unknown.
+[[nodiscard]] bool ruleFromName(std::string_view name, Rule& out);
+
+struct Finding {
+  std::string file;  // as reported (relative to --root when walking a tree)
+  int line{1};
+  Rule rule{Rule::UnorderedIter};
+  std::string message;
+
+  /// Stable identity used by baselines: "<file>:<line>:<rule>".
+  [[nodiscard]] std::string key() const;
+};
+
+struct Options {
+  /// Path substrings exempt from R2 (the sanctioned wall-clock shim and any
+  /// explicitly blessed tooling).
+  std::vector<std::string> wallClockAllowlist;
+};
+
+/// Scans one translation unit's source text. `filename` is used for
+/// reporting and for the R2 allowlist match.
+[[nodiscard]] std::vector<Finding> scanSource(std::string_view source,
+                                              std::string_view filename,
+                                              const Options& opts = {});
+
+/// Scans every C++ source file (.hpp/.h/.hxx/.cpp/.cc/.cxx) under `paths`
+/// (files or directories, resolved against `root`), reporting file names
+/// relative to `root`. The walk order is sorted, so output is stable.
+[[nodiscard]] std::vector<Finding> scanTree(const std::string& root,
+                                            const std::vector<std::string>& paths,
+                                            const Options& opts = {});
+
+/// Baseline: findings already known and tolerated. Matching is by exact
+/// Finding::key().
+class Baseline {
+ public:
+  /// Loads "<file>:<line>:<rule>" lines; '#' starts a comment. Returns false
+  /// when the file cannot be read.
+  bool load(const std::string& path);
+  [[nodiscard]] bool covers(const Finding& f) const;
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  /// Serializes findings in baseline format (sorted, deduplicated).
+  [[nodiscard]] static std::string serialize(const std::vector<Finding>& findings);
+
+ private:
+  std::vector<std::string> keys_;  // sorted for binary search
+};
+
+/// Drops findings covered by the baseline.
+[[nodiscard]] std::vector<Finding> applyBaseline(std::vector<Finding> findings,
+                                                 const Baseline& baseline);
+
+/// Human-readable report, one "file:line: [rule] message" per finding.
+[[nodiscard]] std::string formatText(const std::vector<Finding>& findings);
+
+/// Machine-readable report: a JSON array of {file, line, rule, message}.
+[[nodiscard]] std::string formatJson(const std::vector<Finding>& findings);
+
+/// Gate exit code: 0 clean, 1 findings present.
+[[nodiscard]] inline int exitCodeFor(const std::vector<Finding>& findings) {
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace detlint

@@ -1,0 +1,101 @@
+// detlint CLI — the determinism lint gate.
+//
+//   detlint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
+//           [--allow-wall-clock SUBSTR]... [paths...]
+//
+// Paths default to src tools bench (resolved against --root, default "."),
+// matching the sim-visible tree. Exit codes: 0 clean, 1 findings, 2 usage or
+// I/O error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] [--baseline FILE]\n"
+               "          [--write-baseline FILE] [--allow-wall-clock SUBSTR]...\n"
+               "          [paths...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baselinePath;
+  std::string writeBaselinePath;
+  bool json = false;
+  detlint::Options opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (!value(root)) return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      if (!value(baselinePath)) return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (!value(writeBaselinePath)) return usage(argv[0]);
+    } else if (arg == "--allow-wall-clock") {
+      std::string s;
+      if (!value(s)) return usage(argv[0]);
+      opts.wallClockAllowlist.push_back(std::move(s));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  std::vector<detlint::Finding> findings = detlint::scanTree(root, paths, opts);
+
+  if (!writeBaselinePath.empty()) {
+    std::ofstream out{writeBaselinePath};
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write baseline '%s'\n",
+                   writeBaselinePath.c_str());
+      return 2;
+    }
+    out << detlint::Baseline::serialize(findings);
+    std::fprintf(stderr, "detlint: wrote %zu finding(s) to %s\n",
+                 findings.size(), writeBaselinePath.c_str());
+    return 0;
+  }
+
+  if (!baselinePath.empty()) {
+    detlint::Baseline baseline;
+    if (!baseline.load(baselinePath)) {
+      std::fprintf(stderr, "detlint: cannot read baseline '%s'\n",
+                   baselinePath.c_str());
+      return 2;
+    }
+    findings = detlint::applyBaseline(std::move(findings), baseline);
+  }
+
+  std::cout << (json ? detlint::formatJson(findings)
+                     : detlint::formatText(findings));
+  if (!findings.empty() && !json) {
+    std::fprintf(stderr, "detlint: %zu finding(s)\n", findings.size());
+  }
+  return detlint::exitCodeFor(findings);
+}

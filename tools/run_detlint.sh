@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Runs the detlint determinism gate over the sim-visible tree.
+#
+# Usage: tools/run_detlint.sh [extra detlint args...]
+#   DETLINT_BIN  path to the detlint binary (default: build/tools/detlint/detlint)
+#
+# Exits 0 when the tree is clean (modulo tools/detlint_baseline.txt if it
+# exists), 1 on findings, 2 on usage/IO errors.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+bin=${DETLINT_BIN:-"$repo_root/build/tools/detlint/detlint"}
+
+if [ ! -x "$bin" ]; then
+  echo "run_detlint.sh: detlint binary not found at $bin (build it first, or set DETLINT_BIN)" >&2
+  exit 2
+fi
+
+baseline_args=""
+if [ -f "$repo_root/tools/detlint_baseline.txt" ]; then
+  baseline_args="--baseline $repo_root/tools/detlint_baseline.txt"
+fi
+
+# shellcheck disable=SC2086  # baseline_args is intentionally word-split
+exec "$bin" --root "$repo_root" $baseline_args "$@" src tools bench
