@@ -53,6 +53,81 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
 
+void BM_EventQueueScheduleRunDistinct(benchmark::State& state) {
+  // The all-distinct-timestamp regime: link transmissions, per-connection
+  // timeouts, and jittered avatar ticks never share an instant, so every
+  // event pays the queue's per-timestamp cost. The stride walks the whole
+  // timer-wheel hierarchy (and, at 100k events, the far-future overflow
+  // tier). The simulator persists across iterations so the steady-state
+  // heap budget is observable: allocs_per_item must be zero once the slot
+  // pool, wheel lanes, and drain heap are warm.
+  const int events = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  auto scheduleAll = [&] {
+    for (int i = 0; i < events; ++i) {
+      // 1.7us stride plus an index-derived sub-microsecond jitter: strictly
+      // increasing, so no two events ever share a timestamp.
+      const std::int64_t ns =
+          1700 * static_cast<std::int64_t>(i) + (i * 37) % 1000 + 1;
+      sim.scheduleAfter(Duration::nanos(ns), [] {});
+    }
+  };
+
+  // Warm up twice: the first pass sizes the pools, the second catches lane
+  // capacities that depend on the wheel's slot alignment.
+  for (int pass = 0; pass < 2; ++pass) {
+    scheduleAll();
+    sim.run();
+  }
+
+  std::int64_t items = 0;
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    scheduleAll();
+    benchmark::DoNotOptimize(sim.run());
+    items += events;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(items);
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0);
+}
+BENCHMARK(BM_EventQueueScheduleRunDistinct)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCascade(benchmark::State& state) {
+  // Cascade stress: every event is scheduled far enough out that it must be
+  // re-homed down the wheel hierarchy (or through the overflow tier) before
+  // it fires. Measures the amortized cost of cascading, which the plain
+  // distinct-timestamp bench mostly avoids for near-future events.
+  const int events = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  auto scheduleAll = [&] {
+    for (int i = 0; i < events; ++i) {
+      // 40us..200ms out: lands across the upper wheel levels and overflow.
+      const std::int64_t ns = 40'000 + 2'000 * static_cast<std::int64_t>(i);
+      sim.scheduleAfter(Duration::nanos(ns), [] {});
+    }
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    scheduleAll();
+    sim.run();
+  }
+  std::int64_t items = 0;
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    scheduleAll();
+    benchmark::DoNotOptimize(sim.run());
+    items += events;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(items);
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0);
+}
+BENCHMARK(BM_EventQueueCascade)->Arg(100000);
+
 void BM_EventCancelChurn(benchmark::State& state) {
   // Schedule/cancel storms: timers that almost never fire (retransmission
   // timers, eviction guards) dominate some workloads. Cancel is O(1) via

@@ -8,6 +8,10 @@
 // to hold fixed — dispatch time, the event's slot/generation identity, and
 // any kind tags layers choose to note — never host pointers or wall-clock
 // values, so its digest is comparable across thread counts and processes.
+// It also never sees how the queue *stored* an event: the digest covers
+// dispatch order only, so queue-internal reorganisation (timer-wheel lanes,
+// cascades, overflow promotion — see DESIGN.md §10) is invisible to it as
+// long as the (time, schedule-sequence) dispatch contract holds.
 
 #include <cstddef>
 #include <cstdint>

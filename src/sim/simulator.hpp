@@ -3,21 +3,33 @@
 // The discrete-event engine every other module runs on.
 //
 // Design notes:
-//  * Deterministic: events at equal timestamps fire in scheduling order
-//    (same-time events share a FIFO bucket, so drain order is insert order).
+//  * Deterministic: events at equal timestamps fire in scheduling order.
+//    Every scheduled event carries a monotone sequence stamp, and dispatch
+//    order is exactly (time, sequence) — FIFO-within-time by construction,
+//    regardless of which queue tier an event waited in.
+//  * O(1) scheduling at paper scale: the front-end is a hierarchical timer
+//    wheel (power-of-two lanes, ~1us granularity at level 0 scaling 8x per
+//    level, ~134ms horizon) so the dominant all-distinct-timestamp regime
+//    (link transmissions, per-connection timeouts, jittered avatar ticks)
+//    pays one lane append per schedule — no hash probe, no big-heap sift.
+//    Far-future events park in an overflow tier (a 4-ary heap over distinct
+//    timestamps with FIFO buckets) and cascade down the wheel levels as the
+//    clock advances; see DESIGN.md §10 for the cascade rules.
 //  * Allocation-free hot path: callbacks live in a generation-counted slot
 //    pool (recycled via a free list) and are stored as small-buffer
-//    UniqueFunctions, so steady-state schedule/fire cycles never touch the
-//    heap. The priority queue orders distinct timestamps only; same-time
-//    bursts (fan-out, aligned ticks) cost one heap operation per burst.
+//    UniqueFunctions; wheel lanes, the dispatch drain run, and overflow
+//    buckets all recycle their storage, so steady-state schedule/fire
+//    cycles never touch the heap.
 //  * Cancellable: schedule() returns an EventId = {slot, generation};
 //    cancel() frees the slot in O(1) and bumps its generation, so the id
-//    (and any stale heap entry) is dead immediately — valid() is exact,
-//    not lazy.
+//    (and any stale wheel/overflow entry) is dead immediately — valid() is
+//    exact, not lazy. Tombstones are dropped at the first cascade that
+//    touches them instead of surviving until their due time.
 //  * Single-threaded by design (CP.1 notwithstanding): simulations are
 //    run-to-completion functions; parallelism, when needed, is across
 //    seeds (see core/seedsweep.hpp), never inside one simulation.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -57,7 +69,9 @@ class Simulator {
  public:
   using Callback = UniqueFunction;
 
-  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+  explicit Simulator(std::uint64_t seed = 1)
+      : wheelLanes_(static_cast<std::size_t>(kWheelLevels) * kWheelSlots),
+        rng_{seed} {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -96,6 +110,22 @@ class Simulator {
   /// Total events executed since construction (determinism probes compare
   /// this across runs).
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+  // ---- queue introspection (bench/test probes; diagnostic only) ----------
+
+  /// Entries currently resident in the timer-wheel tiers — wheel lanes plus
+  /// the dispatch drain run — including not-yet-reclaimed tombstones of
+  /// cancelled events.
+  [[nodiscard]] std::size_t wheelEvents() const { return wheelEvents_; }
+
+  /// Entries currently parked in the far-future overflow tier (timestamp
+  /// heap + FIFO buckets), including tombstones.
+  [[nodiscard]] std::size_t overflowEvents() const { return overflowEvents_; }
+
+  /// Cumulative count of live entries re-homed as the clock advanced:
+  /// overflow → wheel promotions plus wheel-level cascades. Tombstones
+  /// dropped mid-cascade do not count.
+  [[nodiscard]] std::uint64_t cascades() const { return cascades_; }
 
   /// Per-simulation unique id source (packet uids, connection serials):
   /// keeping identity allocation inside the simulation makes runs hermetic
@@ -155,6 +185,7 @@ class Simulator {
   struct Slot {
     std::uint32_t generation{0};
     bool live{false};
+    std::uint64_t seq{0};  // schedule-order stamp; total order is (time, seq)
     Callback cb;
   };
   // Slots live in fixed-size chunks with stable addresses: growing the pool
@@ -164,15 +195,89 @@ class Simulator {
   // that grow the pool mid-call.
   static constexpr std::uint32_t kSlotChunkShift = 10;
   static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
-  // The queue is two-level: a 4-ary implicit min-heap over *distinct*
-  // timestamps, plus a FIFO bucket of {slot, gen} references per timestamp
-  // (reached through an open-addressed time → bucket map). Discrete-event
-  // workloads are tie-heavy — periodic ticks, same-instant fan-out bursts —
-  // so a burst of B same-time events costs one heap operation instead of B,
-  // and FIFO drain order *is* scheduling order, which keeps the determinism
-  // contract without a per-event sequence number. A bucket's first entry is
-  // stored inline, so all-distinct workloads never allocate a bucket vector
-  // and pay only the map probe on top of the heap.
+
+  // ---- hierarchical timer wheel (the near-future fast path) --------------
+  //
+  // kWheelLevels lanes-of-lanes: level L buckets time by
+  // (t >> (kWheelBaseShift + L*kWheelLevelShiftStep)), i.e. ~1us lanes at
+  // level 0 widening 8x per level, 256 lanes each, for a ~134ms horizon.
+  // schedule() appends a WheelEntry to the lowest level whose lane width
+  // can still express the event's distance from the cursor — O(1), no hash
+  // probe, no sift. An occupancy bitmap (4 words per level) finds the next
+  // populated lane with a handful of ctz scans.
+  //
+  // Dispatch runs through the "drain run": when the cursor enters a level-0
+  // lane, the lane's entries are flushed into one vector, sorted once by
+  // (time, seq), and consumed through a head index — distinct timestamps by
+  // time, equal timestamps by schedule order, O(1) per event after the
+  // sort. The sort itself is skipped when the flush arrives already
+  // ordered, which is exactly the same-time burst case (lane FIFO order is
+  // seq order), so fan-out bursts never pay a comparison-based structure at
+  // all. Events scheduled *into the current lane* while it drains (a
+  // callback scheduling at now, a pre-run schedule near the epoch) binary-
+  // insert into the unconsumed suffix; their fresh sequence stamps place
+  // them behind every pending same-time entry, which is the FIFO contract.
+  // A higher-level lane reached by the cursor cascades: its entries re-home
+  // into finer levels (or the drain run) with their exact times, so
+  // nothing is ever dispatched at lane granularity. Events beyond the
+  // horizon park in the overflow tier below and are promoted bucket-by-
+  // bucket as the cursor advances. Cancelled entries are tombstones wherever
+  // they sit (the slot generation is the liveness oracle); any cascade or
+  // flush that touches one drops it on the spot.
+  struct WheelEntry {
+    std::int64_t timeNs;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  // Lane storage: fixed-size entry blocks drawn from a shared pool and
+  // chained per lane. Per-lane vectors would pin their high-water capacity
+  // to one lane while the absolute-time -> lane mapping drifts from run to
+  // run, so some lane somewhere would reallocate on nearly every pass;
+  // pooled blocks make the steady-state footprint a function of the peak
+  // number of concurrent entries only, which is what lets warm
+  // schedule/fire cycles stay allocation-free.
+  static constexpr std::uint32_t kLaneBlockCap = 16;
+  static constexpr std::uint32_t kNoBlock = 0xffffffffu;
+  struct LaneBlock {
+    std::array<WheelEntry, kLaneBlockCap> items;
+    std::uint32_t next{kNoBlock};
+  };
+  // Blocks live in fixed-size chunks with stable addresses (the slot-pool
+  // idiom): growing the pool allocates one chunk and never copies resident
+  // entries, which keeps cold-start scheduling cheap.
+  static constexpr std::uint32_t kLaneBlockChunkShift = 6;
+  static constexpr std::uint32_t kLaneBlockChunkSize = 1u
+                                                       << kLaneBlockChunkShift;
+  struct Lane {
+    std::uint32_t head{kNoBlock};
+    std::uint32_t tail{kNoBlock};
+    std::uint32_t tailCount{0};
+  };
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kWheelSlotBits = 8;  // 256 lanes per level
+  static constexpr std::uint32_t kWheelSlots = 1u << kWheelSlotBits;
+  static constexpr std::uint32_t kWheelSlotMask = kWheelSlots - 1;
+  static constexpr std::uint32_t kWheelWordsPerLevel = kWheelSlots / 64;
+  static constexpr int kWheelBaseShift = 10;       // level-0 lane = 1024ns
+  static constexpr int kWheelLevelShiftStep = 3;   // 8x wider per level
+  [[nodiscard]] static constexpr int wheelShift(int level) {
+    return kWheelBaseShift + kWheelLevelShiftStep * level;
+  }
+  static constexpr int kWheelTopShift =
+      kWheelBaseShift + kWheelLevelShiftStep * (kWheelLevels - 1);
+
+  // ---- overflow tier (far-future events, beyond the wheel horizon) -------
+  //
+  // The PR-1 bucketed queue, demoted: a 4-ary implicit min-heap over
+  // *distinct* timestamps, plus a FIFO bucket of {slot, gen} references per
+  // timestamp (reached through an open-addressed time → bucket map). Far
+  // timers are bursty-at-a-timestamp (aligned keepalives, batch deadlines),
+  // so a burst of B same-time events still costs one heap operation. Whole
+  // buckets are promoted into the wheel once their timestamp enters the
+  // horizon; FIFO bucket order is seq order, so promotion preserves the
+  // (time, seq) dispatch contract. A bucket's first entry is stored inline,
+  // so all-distinct overflow workloads never allocate a bucket vector.
   // `gen` detects entries whose slot was cancelled and possibly reused.
   // The callback stays put in its slot until fired.
   struct HeapEntry {
@@ -212,15 +317,60 @@ class Simulator {
   void eraseTime(std::int64_t timeNs);
   void growTimeMap();
 
+  // Wheel internals (simulator.cpp): lane/bitmap addressing, the sorted
+  // (time, seq) drain run, and the cascade machinery.
+  [[nodiscard]] static constexpr std::size_t laneIndex(int level,
+                                                       std::uint32_t lane) {
+    return static_cast<std::size_t>(level) * kWheelSlots + lane;
+  }
+  void drainAppend(const WheelEntry& e);        // advance path: sort deferred
+  void drainInsertSorted(const WheelEntry& e);  // schedule path: keeps order
+  [[nodiscard]] LaneBlock& laneBlockAt(std::uint32_t i) const {
+    return laneBlockChunks_[i >> kLaneBlockChunkShift]
+                           [i & (kLaneBlockChunkSize - 1)];
+  }
+  std::uint32_t acquireLaneBlock();
+  void wheelInsert(const WheelEntry& e, bool fromAdvance);
+  [[nodiscard]] int nextOccupiedDistance(int level, std::uint32_t from) const;
+  void flushLane(int level, std::uint32_t lane);
+  void directDrainLane(int level, std::uint32_t lane);
+  void cascadeLane(int level, std::uint32_t lane);
+  void promoteOverflow();
+  bool advanceWheel(std::int64_t limitNs);
+
   TimePoint now_{TimePoint::epoch()};
   std::uint64_t executed_{0};
   std::uint64_t lastId_{0};
+  std::uint64_t seqCounter_{0};
   std::size_t liveEvents_{0};
   std::size_t pendingEntries_{0};
+  // Wheel state: per-lane FIFO block chains (level-major), occupancy bitmaps,
+  // the dispatch drain run (sorted vector + consumption head), and the
+  // lane-aligned cursor. The cursor is internal bookkeeping — it may run
+  // ahead of now_ (which only moves at dispatch) but never past the next
+  // undispatched event's lane.
+  std::vector<Lane> wheelLanes_;
+  std::vector<std::unique_ptr<LaneBlock[]>> laneBlockChunks_;
+  std::uint32_t laneBlockCount_{0};
+  std::vector<std::uint32_t> freeLaneBlocks_;
+  std::array<std::uint64_t, kWheelLevels * kWheelWordsPerLevel> wheelBits_{};
+  // Entries resident per level, so the advance scan skips empty levels
+  // without touching their bitmaps (sparse workloads keep one event in one
+  // level; scanning all four would dominate the per-event cost).
+  std::array<std::size_t, kWheelLevels> wheelLevelCount_{};
+  std::vector<WheelEntry> drainRun_;
+  std::vector<WheelEntry> wheelScratch_;  // directDrainLane staging
+  std::size_t drainHead_{0};
+  bool drainSortPending_{false};
+  std::int64_t wheelNowNs_{0};
+  std::size_t wheelEvents_{0};
+  std::size_t overflowEvents_{0};
+  std::uint64_t cascades_{0};
+  // Overflow tier state (heap over distinct far timestamps + FIFO buckets).
   std::vector<HeapEntry> heap_;
   std::vector<Bucket> buckets_;
   std::vector<std::uint32_t> freeBuckets_;
-  std::vector<TimeCell> timeMap_;  // grown lazily on first schedule
+  std::vector<TimeCell> timeMap_;  // grown lazily on first far schedule
   std::size_t timeMapUsed_{0};
   std::vector<std::unique_ptr<Slot[]>> slotChunks_;
   std::uint32_t slotCount_{0};

@@ -60,6 +60,22 @@ TEST(DetlintR1, OrderedContainersAreClean) {
           .empty());
 }
 
+TEST(DetlintR1, TimerWheelLaneIdiomsAreClean) {
+  // Representative of the simulator's wheel front-end: occupancy bitmaps,
+  // shift-derived lane indices, and pooled block chains. None of it touches
+  // iteration-order-sensitive containers, ambient time, or pointer keys, so
+  // detlint must stay quiet on the style the hot path is written in.
+  const auto fs = scan(
+      "std::array<std::uint64_t, 16> bits{};\n"
+      "std::uint32_t lane = (timeNs >> shift) & 255u;\n"
+      "bits[lane >> 6] |= 1ull << (lane & 63u);\n"
+      "int gap = std::countr_zero(word >> bit);\n"
+      "std::vector<Lane> lanes(levels * slots);\n"
+      "for (std::uint32_t b = lanes[i].head; b != kNoBlock; b = next(b)) {}\n"
+      "std::sort(run.begin(), run.end(), byTimeSeq);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // ---------------------------------------------------------- R2 wall clock
 
 TEST(DetlintR2, FlagsAmbientTimeAndEntropy) {

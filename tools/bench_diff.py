@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files benchmark-by-benchmark.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--format text|md] [--threshold PCT]
+
+Matches benchmarks by name (repetition aggregates: the ``_mean`` row is
+preferred when repetitions > 1, otherwise the raw row). For each benchmark
+present in both files it reports real time, the throughput-style counters
+(items_per_second / bytes_per_second), and any alloc-budget counters
+(allocs_per_*), with the relative change. Rows whose |time delta| exceeds
+--threshold (default 5%) are marked so a reader can skim for regressions on
+a noisy box.
+
+Exit status is always 0: this is a reporting tool, not a gate. The numbers
+only mean anything when both files came from Release builds of the same
+machine (see tools/run_simcore_bench.sh, which refuses Debug trees).
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path: str) -> dict[str, dict]:
+    """Return {base_name: row} preferring _mean aggregates over raw rows."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows: dict[str, dict] = {}
+    means: dict[str, dict] = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name", "")
+        run_type = row.get("run_type", "iteration")
+        scale = TIME_UNIT_NS.get(row.get("time_unit", "ns"), 1.0)
+        row["real_time_ns"] = row.get("real_time", 0.0) * scale
+        if run_type == "aggregate":
+            if row.get("aggregate_name") == "mean":
+                means[row.get("run_name", name)] = row
+            continue
+        # Keep the first iteration row per run_name (repetitions repeat it).
+        rows.setdefault(row.get("run_name", name), row)
+    rows.update(means)
+    return rows
+
+
+def fmt_time(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+
+def fmt_rate(v: float) -> str:
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if v >= scale:
+            return f"{v / scale:.3g}{unit}/s"
+    return f"{v:.3g}/s"
+
+
+def pct(old: float, new: float) -> float | None:
+    if old == 0:
+        return None
+    return (new - old) / old * 100.0
+
+
+def fmt_pct(p: float | None) -> str:
+    if p is None:
+        return "n/a"
+    return f"{p:+.1f}%"
+
+
+COUNTER_KEYS = ("items_per_second", "bytes_per_second")
+
+
+def diff_rows(old: dict[str, dict], new: dict[str, dict], threshold: float):
+    names = sorted(set(old) | set(new))
+    out = []
+    for name in names:
+        o, n = old.get(name), new.get(name)
+        if o is None or n is None:
+            out.append(
+                {"name": name, "only_in": "new" if o is None else "old"})
+            continue
+        entry = {
+            "name": name,
+            "old_time_ns": o.get("real_time_ns", 0.0),
+            "new_time_ns": n.get("real_time_ns", 0.0),
+        }
+        entry["time_pct"] = pct(entry["old_time_ns"], entry["new_time_ns"])
+        entry["flag"] = (entry["time_pct"] is not None
+                         and abs(entry["time_pct"]) >= threshold)
+        for key in COUNTER_KEYS:
+            if key in o and key in n:
+                entry["rate_key"] = key
+                entry["old_rate"] = o[key]
+                entry["new_rate"] = n[key]
+                entry["rate_pct"] = pct(o[key], n[key])
+                break
+        allocs = sorted(k for k in n if k.startswith("allocs_per_"))
+        if allocs:
+            entry["alloc_key"] = allocs[0]
+            entry["old_alloc"] = o.get(allocs[0])
+            entry["new_alloc"] = n.get(allocs[0])
+        out.append(entry)
+    return out
+
+
+def render(entries, fmt: str, threshold: float) -> str:
+    header = ["benchmark", "old time", "new time", "Δtime",
+              "old rate", "new rate", "Δrate", "allocs"]
+    table = []
+    for e in entries:
+        if "only_in" in e:
+            table.append([e["name"], f"(only in {e['only_in']} file)",
+                          "", "", "", "", "", ""])
+            continue
+        mark = " !" if e["flag"] else ""
+        alloc = ""
+        if "alloc_key" in e and e["new_alloc"] is not None:
+            alloc = f"{e['new_alloc']:.3g}"
+            if e.get("old_alloc") is not None:
+                alloc = f"{e['old_alloc']:.3g} -> {alloc}"
+        table.append([
+            e["name"],
+            fmt_time(e["old_time_ns"]),
+            fmt_time(e["new_time_ns"]),
+            fmt_pct(e["time_pct"]) + mark,
+            fmt_rate(e["old_rate"]) if "old_rate" in e else "",
+            fmt_rate(e["new_rate"]) if "new_rate" in e else "",
+            fmt_pct(e.get("rate_pct")) if "rate_pct" in e else "",
+            alloc,
+        ])
+    lines = []
+    if fmt == "md":
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in table:
+            lines.append("| " + " | ".join(row) + " |")
+    else:
+        widths = [max(len(header[i]), *(len(r[i]) for r in table))
+                  if table else len(header[i]) for i in range(len(header))]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append("")
+    lines.append(f"'!' marks |time delta| >= {threshold:g}% "
+                 "(negative time delta = faster)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline benchmark JSON")
+    ap.add_argument("new", help="candidate benchmark JSON")
+    ap.add_argument("--format", choices=("text", "md"), default="text")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="flag rows whose |time delta %%| exceeds this")
+    args = ap.parse_args(argv)
+    entries = diff_rows(load_rows(args.old), load_rows(args.new),
+                        args.threshold)
+    if not entries:
+        print("no benchmarks found in either file", file=sys.stderr)
+        return 0
+    print(render(entries, args.format, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

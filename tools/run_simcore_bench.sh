@@ -16,6 +16,27 @@ set -eu
 BUILD_DIR="${1:-build}"
 [ $# -gt 0 ] && shift
 
+# Refuse non-Release builds: numbers recorded from a Debug / RelWithDebInfo
+# tree are not comparable to the committed baseline (the pre-fix baseline
+# was once recorded from a Debug build, which made the trajectory
+# meaningless). Override with MSIM_ALLOW_NON_RELEASE=1 for local smoke
+# runs; the output is then watermarked on stderr instead of refused.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+BUILD_TYPE=""
+[ -f "$CACHE" ] && BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")
+if [ "$BUILD_TYPE" != "Release" ]; then
+  if [ "${MSIM_ALLOW_NON_RELEASE:-0}" = "1" ]; then
+    echo "warning: $BUILD_DIR is CMAKE_BUILD_TYPE='$BUILD_TYPE', not Release;" >&2
+    echo "warning: results are NOT baseline-comparable (MSIM_ALLOW_NON_RELEASE=1)" >&2
+  else
+    echo "error: $BUILD_DIR is CMAKE_BUILD_TYPE='$BUILD_TYPE', not Release." >&2
+    echo "error: benchmark numbers from non-Release builds are meaningless;" >&2
+    echo "error: reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "error: MSIM_ALLOW_NON_RELEASE=1 to run anyway (results watermarked)." >&2
+    exit 1
+  fi
+fi
+
 BIN="$BUILD_DIR/bench/bench_simcore_perf"
 if [ ! -x "$BIN" ]; then
   echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_simcore_perf)" >&2
