@@ -13,14 +13,27 @@
 // MSIM_THREADS. Extra knobs:
 //   MSIM_CLUSTER_USERS      total users          (default 10000)
 //   MSIM_CLUSTER_INSTANCES  shard count          (default 32)
+//
+// Threads-sweep mode (`--threads-sweep` or MSIM_PDES_SWEEP=1): runs ONE
+// seed of the same workload on the PDES-partitioned cluster
+// (cluster/partitioned.hpp) at 1/2/4/8 engine workers, reports wall-clock
+// speedup and events/s-per-core, asserts the audit digest is byte-identical
+// across all worker counts, and emits a benchmark JSON (stdout, plus
+// MSIM_PDES_JSON=<path> to write a file) whose context records the host
+// core count and CPU model so committed baselines are comparable across
+// machines.
 
+#include <chrono>
 #include <cinttypes>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "avatar/codec.hpp"
 #include "avatar/spec.hpp"
 #include "cluster/manager.hpp"
+#include "cluster/partitioned.hpp"
 #include "common.hpp"
 #include "core/seedsweep.hpp"
 
@@ -180,11 +193,163 @@ std::string fmtD(double v, int prec) {
   return buf;
 }
 
+// ---- threads-sweep mode (PDES-partitioned run) ----------------------------
+
+// detlint:allow(wall-clock) measures the bench harness's own wall time on the host — speedup is the quantity under test and never feeds simulated behaviour
+using WallClock = std::chrono::steady_clock;
+
+std::string cpuModel() {
+  std::ifstream in{"/proc/cpuinfo"};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+struct SweepRow {
+  unsigned threads{1};
+  double wallSeconds{0.0};
+  std::uint64_t events{0};
+  std::uint64_t rounds{0};
+  std::uint64_t digest{0};
+  std::uint64_t lost{0};
+  std::uint64_t migratedUsers{0};
+};
+
+SweepRow runPartitioned(unsigned threads, int users, int instances,
+                        Duration measure) {
+  cluster::PartitionedClusterConfig cfg;
+  cfg.seed = defaultSeeds(1)[0];
+  cfg.users = users;
+  cfg.shards = instances;
+  cfg.threads = threads;
+  AvatarSpec avatar;
+  cfg.updateProto.kind = avatarmsg::kPoseUpdate;
+  cfg.updateProto.size = avatar.bytesPerUpdate;
+  cfg.updateRateHz = avatar.updateRateHz;
+  cluster::PartitionedCluster run{std::move(cfg)};
+  run.scheduleDrain(static_cast<std::uint32_t>(instances - 1),
+                    TimePoint::epoch() + measure * 0.5);
+
+  const WallClock::time_point t0 = WallClock::now();
+  const cluster::PartitionedClusterStats stats =
+      run.run(measure, Duration::seconds(5));
+  const double wall =
+      std::chrono::duration<double>(WallClock::now() - t0).count();
+
+  SweepRow row;
+  row.threads = threads;
+  row.wallSeconds = wall;
+  row.events = stats.engine.eventsExecuted;
+  row.rounds = stats.engine.rounds;
+  row.digest = run.digest();
+  row.lost = stats.expectedDeliveries - stats.delivered;
+  row.migratedUsers = stats.migratedUsers;
+  return row;
+}
+
+int runThreadsSweep(int users, int instances, Duration measure) {
+  bench::header(
+      "Planet scale, PDES threads sweep — " + std::to_string(users) +
+          " users on " + std::to_string(instances) + " shard partitions",
+      "one run split across per-shard logical processes; digest must be "
+      "byte-identical at every worker count");
+
+  const unsigned hostCores = std::thread::hardware_concurrency();
+  const std::string model = cpuModel();
+  const std::vector<unsigned> counts = {1, 2, 4, 8};
+  std::vector<SweepRow> rows;
+  rows.reserve(counts.size());
+  for (const unsigned n : counts) {
+    rows.push_back(runPartitioned(n, users, instances, measure));
+  }
+
+  const double base = rows.front().wallSeconds;
+  TablePrinter table{{"threads", "wall s", "speedup", "events/s",
+                      "events/s/core", "rounds", "digest"}};
+  for (const SweepRow& r : rows) {
+    const double perSec =
+        r.wallSeconds > 0.0 ? static_cast<double>(r.events) / r.wallSeconds : 0.0;
+    char digestHex[32];
+    std::snprintf(digestHex, sizeof(digestHex), "%016" PRIx64, r.digest);
+    table.addRow({std::to_string(r.threads), fmtD(r.wallSeconds, 3),
+                  fmtD(r.wallSeconds > 0.0 ? base / r.wallSeconds : 0.0, 2),
+                  fmtD(perSec / 1e6, 3) + "M",
+                  fmtD(perSec / 1e6 / r.threads, 3) + "M",
+                  std::to_string(r.rounds), digestHex});
+  }
+  table.print(std::cout);
+
+  bool digestsMatch = true;
+  std::uint64_t lostTotal = 0;
+  for (const SweepRow& r : rows) {
+    digestsMatch = digestsMatch && r.digest == rows.front().digest;
+    lostTotal += r.lost;
+  }
+  const double speedup8 =
+      rows.back().wallSeconds > 0.0 ? base / rows.back().wallSeconds : 0.0;
+  std::printf("\ndigest check: %s across {1,2,4,8} workers\n",
+              digestsMatch ? "byte-identical" : "DIVERGED");
+  std::printf("zero-loss check: %" PRIu64 " deliveries lost (must be 0)\n",
+              lostTotal);
+  std::printf("speedup at 8 workers: %.2fx on a %u-core host\n", speedup8,
+              hostCores);
+
+  // Benchmark JSON: host context + one row per worker count.
+  std::string json = "{\n  \"context\": {\n";
+  json += "    \"host_cores\": " + std::to_string(hostCores) + ",\n";
+  json += "    \"cpu_model\": \"" + model + "\",\n";
+  json += "    \"users\": " + std::to_string(users) + ",\n";
+  json += "    \"shards\": " + std::to_string(instances) + ",\n";
+  json += "    \"measure_s\": " + fmtD(measure.toSeconds(), 1) + "\n  },\n";
+  json += "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    const double perSec =
+        r.wallSeconds > 0.0 ? static_cast<double>(r.events) / r.wallSeconds : 0.0;
+    char digestHex[32];
+    std::snprintf(digestHex, sizeof(digestHex), "%016" PRIx64, r.digest);
+    json += "    {\"name\": \"BM_ClusterPdes/threads:" +
+            std::to_string(r.threads) + "\", \"real_time\": " +
+            fmtD(r.wallSeconds, 6) + ", \"time_unit\": \"s\", " +
+            "\"items_per_second\": " + fmtD(perSec, 1) + ", " +
+            "\"events_per_second_per_core\": " + fmtD(perSec / r.threads, 1) +
+            ", \"speedup\": " +
+            fmtD(r.wallSeconds > 0.0 ? base / r.wallSeconds : 0.0, 3) +
+            ", \"rounds\": " + std::to_string(r.rounds) + ", \"digest\": \"" +
+            digestHex + "\"}";
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::printf("\n%s", json.c_str());
+  if (const char* path = std::getenv("MSIM_PDES_JSON")) {
+    std::ofstream out{path};
+    out << json;
+    std::printf("wrote %s\n", path);
+  }
+  return digestsMatch && lostTotal == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int users = envInt("MSIM_CLUSTER_USERS", 10000);
   const int instances = envInt("MSIM_CLUSTER_INSTANCES", 32);
+  bool sweep = envInt("MSIM_PDES_SWEEP", 0) > 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--threads-sweep") sweep = true;
+  }
+  if (sweep) {
+    return runThreadsSweep(users, instances, bench::measureWindow(10.0));
+  }
   const int seeds = bench::seedCount(3);
   const Duration measure = bench::measureWindow(10.0);
   bench::header(

@@ -95,6 +95,46 @@ void BM_EventQueueScheduleRunDistinct(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRunDistinct)->Arg(1000)->Arg(100000);
 
+void BM_EventQueueScheduleRunAligned(benchmark::State& state) {
+  // The aligned-tie regime: 100 events share each timestamp and the
+  // timestamps sit exactly on level-0 lane boundaries (1024ns = 1 << 10, the
+  // wheel's finest granularity). This is the shape the wheel tier traded
+  // away: the pre-wheel per-timestamp buckets amortized a 100-way tie into
+  // one heap op (~18M items/s) where the wheel pays per event (~10M on the
+  // reference box — see DESIGN.md). This bench pins the wheel's absolute
+  // rate on that adversarial shape in the committed baseline so the accepted
+  // trade can't silently rot further. Same persistent-simulator +
+  // double-warmup shape as the Distinct variant so allocs_per_item is the
+  // steady-state heap budget (must be zero).
+  const int events = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  auto scheduleAll = [&] {
+    for (int i = 0; i < events; ++i) {
+      const std::int64_t ns = (static_cast<std::int64_t>(i) / 100 + 1) << 10;
+      sim.scheduleAfter(Duration::nanos(ns), [] {});
+    }
+  };
+
+  for (int pass = 0; pass < 2; ++pass) {
+    scheduleAll();
+    sim.run();
+  }
+
+  std::int64_t items = 0;
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    scheduleAll();
+    benchmark::DoNotOptimize(sim.run());
+    items += events;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(items);
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0);
+}
+BENCHMARK(BM_EventQueueScheduleRunAligned)->Arg(1000)->Arg(100000);
+
 void BM_EventQueueCascade(benchmark::State& state) {
   // Cascade stress: every event is scheduled far enough out that it must be
   // re-homed down the wheel hierarchy (or through the overflow tier) before

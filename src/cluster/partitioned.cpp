@@ -1,0 +1,219 @@
+#include "cluster/partitioned.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "geo/fabric.hpp"
+
+namespace msim::cluster {
+
+namespace {
+
+PartitionedClusterConfig normalize(PartitionedClusterConfig cfg) {
+  if (cfg.regions.empty()) {
+    cfg.regions = {regions::usEast(), regions::usWest(), regions::europe()};
+  }
+  if (cfg.shards < 1) cfg.shards = 1;
+  if (cfg.users < 0) cfg.users = 0;
+  return cfg;
+}
+
+pdes::EngineConfig engineConfig(const PartitionedClusterConfig& cfg) {
+  pdes::EngineConfig ec;
+  ec.threads = cfg.threads;
+  ec.audit = cfg.audit;
+  ec.recordTrail = cfg.recordTrail;
+  return ec;
+}
+
+}  // namespace
+
+PartitionedCluster::PartitionedCluster(PartitionedClusterConfig cfg)
+    : cfg_{normalize(std::move(cfg))},
+      engine_{static_cast<std::uint32_t>(cfg_.shards) + 1, cfg_.seed,
+              engineConfig(cfg_)} {
+  const auto shardCount = static_cast<std::uint32_t>(cfg_.shards);
+  const Region& controlRegion = cfg_.regions[0];
+
+  // Channels: control <-> each shard, lookahead = geo trunk bound floored
+  // by the control-plane turnaround. Shards have no direct links — room
+  // snapshots relay through control, exactly like the deployment's
+  // gateway-brokered migration.
+  shards_.resize(shardCount);
+  for (std::uint32_t s = 0; s < shardCount; ++s) {
+    const Region& region =
+        cfg_.regions[s % static_cast<std::uint32_t>(cfg_.regions.size())];
+    Duration lookahead = InternetFabric::trunkLookahead(controlRegion, region);
+    if (lookahead.toNanos() < cfg_.controlLookahead.toNanos()) {
+      lookahead = cfg_.controlLookahead;
+    }
+    engine_.link(0, partitionOf(s), lookahead);
+    engine_.link(partitionOf(s), 0, lookahead);
+
+    Shard& shard = shards_[s];
+    shard.inst = std::make_unique<RelayInstance>(
+        engine_.partition(partitionOf(s)).sim(), s, region, cfg_.dataSpec,
+        cfg_.capacity);
+    shard.inst->activate();
+    shard.inst->setDeliverySink(
+        [this, s](std::uint32_t, std::uint64_t, const Message&) {
+          ++shards_[s].delivered;
+        });
+  }
+
+  // Pre-run placement, mirroring the gateway's LeastLoaded policy: the
+  // accepting shard with the fewest assignments, lowest id on ties. With
+  // fresh shards this round-robins, matching the monolithic bench's
+  // distribution.
+  assigned_.assign(shardCount, 0);
+  accepting_.assign(shardCount, true);
+  for (int u = 0; u < cfg_.users; ++u) {
+    std::uint32_t best = shardCount;
+    for (std::uint32_t s = 0; s < shardCount; ++s) {
+      if (!shards_[s].inst->acceptingUsers()) continue;
+      if (best == shardCount || assigned_[s] < assigned_[best]) best = s;
+    }
+    if (best == shardCount) break;  // everything full
+    if (shards_[best].inst->room().joinDetached(
+            static_cast<std::uint64_t>(u) + 1)) {
+      ++assigned_[best];
+    }
+  }
+}
+
+PartitionedCluster::~PartitionedCluster() = default;
+
+void PartitionedCluster::scheduleDrain(std::uint32_t shard, TimePoint at) {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument("PartitionedCluster: no such shard");
+  }
+  engine_.partition(0).sim().schedule(at,
+                                      [this, shard] { controlDrain(shard); });
+}
+
+void PartitionedCluster::controlDrain(std::uint32_t source) {
+  if (!accepting_[source]) return;
+  accepting_[source] = false;
+  // Least-assigned accepting target, lowest id on ties (the gateway's
+  // migration probe, expressed on the control book).
+  const auto shardCount = static_cast<std::uint32_t>(shards_.size());
+  std::uint32_t target = shardCount;
+  for (std::uint32_t s = 0; s < shardCount; ++s) {
+    if (s == source || !accepting_[s]) continue;
+    if (target == shardCount || assigned_[s] < assigned_[target]) target = s;
+  }
+  if (target == shardCount) return;  // nowhere to move the room
+  assigned_[target] += assigned_[source];
+  assigned_[source] = 0;
+
+  pdes::Partition& control = engine_.partition(0);
+  control.send(partitionOf(source),
+               control.sim().now() + engine_.lookahead(0, partitionOf(source)),
+               [this, source, target] { sourceExport(source, target); });
+}
+
+void PartitionedCluster::sourceExport(std::uint32_t source,
+                                      std::uint32_t target) {
+  Shard& shard = shards_[source];
+  shard.inst->beginDrain();
+  auto snap =
+      std::make_shared<RelayRoomSnapshot>(shard.inst->room().exportSnapshot());
+  // Empty the source immediately: fan-out batches already scheduled here
+  // captured their recipients at broadcast time, so in-flight deliveries
+  // survive the leave and the zero-loss ledger stays exact.
+  for (const RelayUserRecord& u : snap->users) shard.inst->room().leave(u.id);
+  if (shard.inst->userCount() == 0) shard.inst->stop();
+  if (snap->users.empty()) return;
+
+  pdes::Partition& part = engine_.partition(partitionOf(source));
+  part.send(0, part.sim().now() + engine_.lookahead(partitionOf(source), 0),
+            [this, snap, target] { controlForward(snap, target); });
+}
+
+void PartitionedCluster::controlForward(
+    std::shared_ptr<RelayRoomSnapshot> snap, std::uint32_t target) {
+  ++migrations_;
+  migratedUsers_ += snap->users.size();
+  pdes::Partition& control = engine_.partition(0);
+  control.send(partitionOf(target),
+               control.sim().now() + engine_.lookahead(0, partitionOf(target)),
+               [this, snap, target] {
+                 shards_[target].inst->room().importSnapshot(*snap);
+               });
+}
+
+void PartitionedCluster::paceShard(std::uint32_t s) {
+  Shard& shard = shards_[s];
+  if (shard.inst->userCount() < 2) return;
+  shard.idsScratch = shard.inst->room().userIds();
+  const std::uint64_t fanout = shard.idsScratch.size() - 1;
+  Message update = cfg_.updateProto;
+  for (const std::uint64_t id : shard.idsScratch) {
+    update.senderId = id;
+    update.sequence = ++shard.seq;
+    shard.inst->room().broadcast(id, update);
+    ++shard.broadcasts;
+    shard.expected += fanout;
+  }
+}
+
+PartitionedClusterStats PartitionedCluster::run(Duration measure,
+                                                Duration slack) {
+  const Duration period = Duration::seconds(1.0 / cfg_.updateRateHz);
+  const TimePoint stopAt = TimePoint::epoch() + measure;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    Simulator& sim = engine_.partition(partitionOf(s)).sim();
+    shard.pacer =
+        std::make_unique<PeriodicTask>(sim, period, [this, s] { paceShard(s); });
+    // Stop exactly at the window edge. The tick landing on the edge was
+    // scheduled earlier, so it still fires (schedule-seq order), matching
+    // the monolithic bench's run-then-stop sequence.
+    PeriodicTask* pacer = shard.pacer.get();
+    sim.schedule(stopAt, [pacer] { pacer->stop(); });
+  }
+
+  PartitionedClusterStats stats;
+  stats.engine = engine_.run(stopAt + slack);
+
+  // Flush the in-flight tail. At high occupancy the capacity model's queue
+  // inflation can delay scheduled deliveries well past any fixed slack (the
+  // monolithic bench has the same loop), and the per-shard load samplers
+  // tick forever so the engine can't simply run to idle: extend the horizon
+  // in bounded slices until the ledger balances. The slice count is a pure
+  // function of simulated state — identical for every worker count — so
+  // digests stay thread-invariant.
+  auto outstanding = [this] {
+    std::uint64_t expected = 0;
+    std::uint64_t delivered = 0;
+    for (const Shard& shard : shards_) {
+      expected += shard.expected;
+      delivered += shard.delivered;
+    }
+    return expected - delivered;
+  };
+  TimePoint horizon = stopAt + slack;
+  for (int guard = 0; guard < 1000 && outstanding() > 0; ++guard) {
+    horizon = horizon + Duration::seconds(10);
+    const pdes::RunReport extra = engine_.run(horizon);
+    stats.engine.rounds += extra.rounds;
+    stats.engine.eventsExecuted += extra.eventsExecuted;
+    stats.engine.messagesDelivered += extra.messagesDelivered;
+  }
+
+  for (const Shard& shard : shards_) {
+    stats.broadcasts += shard.broadcasts;
+    stats.expectedDeliveries += shard.expected;
+    stats.delivered += shard.delivered;
+    stats.usersPerShard.push_back(shard.inst->userCount());
+    stats.forwardsPerShard.push_back(shard.inst->roomPtr()->forwardedMessages());
+    stats.maxUtilization =
+        std::max(stats.maxUtilization, shard.inst->utilization());
+  }
+  stats.migrations = migrations_;
+  stats.migratedUsers = migratedUsers_;
+  return stats;
+}
+
+}  // namespace msim::cluster

@@ -1,0 +1,141 @@
+#pragma once
+
+// A planet-scale cluster run split across PDES partitions.
+//
+// bench_cluster_planet_scale's monolithic form drives 32 shards from one
+// Simulator — one core per run no matter how many the host has. This layer
+// re-expresses the same workload on pdes::Engine: each shard becomes its
+// own logical process (partition) with a private event loop, and one extra
+// control partition plays the gateway/autoscaler role (placement book,
+// drain brokerage). Cross-partition traffic is exactly what crosses
+// machines in the real deployment — control-plane RPCs and room-migration
+// snapshots — and rides channels whose conservative lookahead is the geo
+// fabric's trunk bound (InternetFabric::trunkLookahead) floored by the
+// configured control-plane turnaround: tens of milliseconds against
+// microsecond-scale intra-shard event spacing, which is the whole reason
+// the partitioning parallelizes.
+//
+// Topology is a hub: control <-> every shard partition. A drain therefore
+// travels drain-order -> snapshot-export -> forward-to-target as three
+// timestamped hops; the source empties the moment it exports (in-flight
+// fan-out batches still deliver — they captured their recipients at
+// broadcast time), and the target imports one control hop later. Expected
+// and delivered counts are kept per shard partition, so the zero-loss
+// invariant of the monolithic bench carries over unchanged.
+//
+// The partition structure is fixed by (shards, regions) alone — never by
+// the worker count — so audit digests are byte-identical for any
+// MSIM_THREADS; that is pinned by tests/pdes_test.cpp via
+// audit::verifyThreadInvariance.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/instance.hpp"
+#include "pdes/pdes.hpp"
+
+namespace msim::cluster {
+
+struct PartitionedClusterConfig {
+  std::uint64_t seed{1};
+  int users{10000};
+  int shards{32};
+  /// Shard s serves regions[s % regions.size()]; the control partition is
+  /// homed in regions[0]. Defaults to usEast/usWest/europe when empty.
+  std::vector<Region> regions;
+  ShardCapacitySpec capacity{};
+  DataSpec dataSpec{};
+  /// Prototype for the periodic per-user update (kind/size); senderId and
+  /// sequence are stamped per send.
+  Message updateProto{};
+  /// Per-user update cadence, Hz (the avatar tick).
+  double updateRateHz{10.0};
+  /// Engine workers: 0 leases from the process ThreadBudget (honors
+  /// MSIM_THREADS), > 0 pins the pool size. Results identical either way.
+  unsigned threads{0};
+  /// Floor on control-link lookahead (control-plane RPC turnaround); the
+  /// geo trunk bound is used when larger.
+  Duration controlLookahead = Duration::millis(25);
+  bool audit{true};
+  bool recordTrail{false};
+};
+
+struct PartitionedClusterStats {
+  std::uint64_t broadcasts{0};
+  std::uint64_t expectedDeliveries{0};
+  std::uint64_t delivered{0};
+  std::uint64_t migrations{0};
+  std::uint64_t migratedUsers{0};
+  double maxUtilization{0.0};
+  std::vector<std::size_t> usersPerShard;      // shard-id order
+  std::vector<std::uint64_t> forwardsPerShard;  // shard-id order
+  pdes::RunReport engine;
+};
+
+/// Owns the engine, the per-shard RelayInstances (each living on its own
+/// partition's Simulator), and the control partition's placement book.
+class PartitionedCluster {
+ public:
+  explicit PartitionedCluster(PartitionedClusterConfig cfg);
+  ~PartitionedCluster();
+
+  PartitionedCluster(const PartitionedCluster&) = delete;
+  PartitionedCluster& operator=(const PartitionedCluster&) = delete;
+
+  /// Schedules a control-brokered drain of `shard` at absolute time `at`
+  /// (must be called before run()). The control partition picks the
+  /// least-assigned accepting target and brokers the three-hop migration.
+  void scheduleDrain(std::uint32_t shard, TimePoint at);
+
+  /// Paces every shard at cfg.updateRateHz for `measure`, lets the
+  /// in-flight tail (deliveries, migration hops) settle for `slack`, then
+  /// keeps extending the horizon in bounded slices until every expected
+  /// delivery has landed (queue inflation at high occupancy can defer
+  /// deliveries arbitrarily far; the slice count depends only on simulated
+  /// state, so digests stay thread-invariant). Callable once per instance.
+  PartitionedClusterStats run(Duration measure, Duration slack);
+
+  /// Per-partition audit digests folded in partition-id order (see
+  /// pdes::Engine::auditFingerprint).
+  [[nodiscard]] audit::RunFingerprint fingerprint() const {
+    return engine_.auditFingerprint();
+  }
+  [[nodiscard]] std::uint64_t digest() const { return engine_.auditDigest(); }
+
+  [[nodiscard]] pdes::Engine& engine() { return engine_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<RelayInstance> inst;
+    std::unique_ptr<PeriodicTask> pacer;
+    std::uint64_t broadcasts{0};
+    std::uint64_t expected{0};
+    std::uint64_t delivered{0};
+    std::uint64_t seq{0};  // per-partition update sequence stamp
+    std::vector<std::uint64_t> idsScratch;
+  };
+
+  /// Shard s lives on partition s + 1; partition 0 is control.
+  [[nodiscard]] static std::uint32_t partitionOf(std::uint32_t shard) {
+    return shard + 1;
+  }
+
+  void controlDrain(std::uint32_t source);
+  void sourceExport(std::uint32_t source, std::uint32_t target);
+  void controlForward(std::shared_ptr<RelayRoomSnapshot> snap,
+                      std::uint32_t target);
+  void paceShard(std::uint32_t shard);
+
+  PartitionedClusterConfig cfg_;
+  pdes::Engine engine_;
+  std::vector<Shard> shards_;
+  // Control partition's book (touched only by control-partition events
+  // after construction): placement counts and accepting flags.
+  std::vector<std::uint32_t> assigned_;
+  std::vector<bool> accepting_;
+  std::uint64_t migrations_{0};
+  std::uint64_t migratedUsers_{0};
+};
+
+}  // namespace msim::cluster

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/threadbudget.hpp"
+
 namespace msim {
 
 unsigned seedSweepThreads() {
@@ -32,6 +34,16 @@ void runIndexedTasks(std::size_t count,
                      const std::function<void(std::size_t)>& task,
                      unsigned threads) {
   if (count == 0) return;
+  if (threads == 0) {
+    // Default path: lease extra workers from the process budget so nested
+    // parallel layers (a PDES engine inside each run) see what's left.
+    unsigned want = seedSweepThreads();
+    if (want > count) want = static_cast<unsigned>(count);
+    const ThreadBudget::Lease lease{ThreadBudget::process(),
+                                    want > 0 ? want - 1 : 0};
+    runIndexedTasks(count, task, lease.workers());
+    return;
+  }
   if (threads > count) threads = static_cast<unsigned>(count);
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) task(i);
@@ -40,6 +52,7 @@ void runIndexedTasks(std::size_t count,
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr firstError;
+  // detlint:allow(thread-order) orders only the error-capture race; results are merged in seed order regardless of which worker ran what
   std::mutex errorMu;
   auto worker = [&] {
     for (;;) {
@@ -48,6 +61,7 @@ void runIndexedTasks(std::size_t count,
       try {
         task(i);
       } catch (...) {
+        // detlint:allow(thread-order) first-error capture; any of the racing exceptions is a valid report
         const std::lock_guard<std::mutex> lock{errorMu};
         if (!firstError) firstError = std::current_exception();
       }

@@ -31,7 +31,11 @@ namespace msim {
 
 namespace detail {
 /// Runs task(0..count-1), each exactly once, on up to `threads` workers
-/// (the calling thread is one of them). Serial when threads <= 1. The first
+/// (the calling thread is one of them). Serial when threads == 1. When
+/// threads == 0, extra workers are leased from the process-wide
+/// ThreadBudget (capped at seedSweepThreads()), so seed-level and
+/// partition-level parallelism compose without oversubscription — a nested
+/// PDES engine inside each run sees whatever the sweep left over. The first
 /// exception thrown by any task is rethrown after all workers finish.
 void runIndexedTasks(std::size_t count,
                      const std::function<void(std::size_t)>& task,
@@ -51,7 +55,7 @@ auto runSeedSweep(const std::vector<std::uint64_t>& seeds, Fn&& fn,
   std::vector<Result> results(seeds.size());
   detail::runIndexedTasks(
       seeds.size(), [&](std::size_t i) { results[i] = fn(seeds[i]); },
-      threads == 0 ? seedSweepThreads() : threads);
+      threads);
   return results;
 }
 

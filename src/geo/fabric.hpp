@@ -62,6 +62,19 @@ class InternetFabric {
     return propagationDelay(a.location, b.location);
   }
 
+  /// Conservative lower bound on delivering anything between hosts in the
+  /// two regions through the fabric: trunk propagation plus both access
+  /// links' base delay, before any serialization or queueing is added.
+  /// Strictly positive even same-region (the two access hops remain), which
+  /// is what lets PDES partitions use trunk links as conservative-lookahead
+  /// channels (pdes/pdes.hpp) — the paper's inter-region RTTs (§4–§6, tens
+  /// of ms) dwarf intra-shard event spacing, so this bound buys real
+  /// parallel windows.
+  [[nodiscard]] static Duration trunkLookahead(const Region& a, const Region& b,
+                                               const AccessConfig& access = {}) {
+    return interRegionDelay(a, b) + access.delay + access.delay;
+  }
+
  private:
   struct CoreInfo {
     Region region;

@@ -1,0 +1,341 @@
+#include "pdes/pdes.hpp"
+
+// detlint:allow-file(thread-order) the pool below is barrier-structured scaffolding: workers only pick WHICH core runs a partition's window, window contents are fixed by the EOT bounds before any worker moves, and pdes_test pins digests byte-identical across worker counts
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/threadbudget.hpp"
+
+namespace msim::pdes {
+
+namespace {
+
+// Saturating ceiling used for "no bound": far above any reachable
+// simulated instant, low enough that adding a lookahead cannot overflow.
+constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max() / 4;
+
+// splitmix64: decorrelates per-partition RNG streams from (seed, id) so
+// partitions never share a stream even under adversarial seed choices.
+std::uint64_t partitionSeed(std::uint64_t seed, std::uint32_t id) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (id + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+[[nodiscard]] std::int64_t clampInf(std::int64_t ns) {
+  return ns > kInfNs ? kInfNs : ns;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Partition
+
+Partition::Partition(Engine& engine, std::uint32_t id, std::uint64_t seed)
+    : engine_{engine},
+      id_{id},
+      sim_{std::make_unique<Simulator>(partitionSeed(seed, id))} {}
+
+void Partition::send(std::uint32_t dst, TimePoint recvTime,
+                     UniqueFunction fn) {
+  const std::int64_t lookahead = engine_.lookaheadNs(id_, dst);
+  if (lookahead < 0) {
+    throw std::logic_error("pdes: send on undeclared link " +
+                           std::to_string(id_) + " -> " + std::to_string(dst));
+  }
+  const std::int64_t recvNs = recvTime.toNanos();
+  if (recvNs < sim_->now().toNanos() + lookahead) {
+    throw std::logic_error(
+        "pdes: send on link " + std::to_string(id_) + " -> " +
+        std::to_string(dst) + " violates its lookahead contract (recv " +
+        std::to_string(recvNs) + "ns < now + " + std::to_string(lookahead) +
+        "ns)");
+  }
+  ChannelMessage m;
+  m.dst = dst;
+  m.recvTimeNs = recvNs;
+  m.src = id_;
+  m.srcSeq = sendSeq_++;
+  m.fn = std::move(fn);
+  outbox_.push_back(std::move(m));
+}
+
+// ------------------------------------------------------------------- Engine
+
+// The round pool. Workers park on a condition variable between windows;
+// each window they drain a shared atomic partition index, so load-balancing
+// is dynamic (which worker runs which partition is scheduler-dependent)
+// while results are not (each partition's window is fixed before the
+// barrier opens). The mutex/condvar pair is the barrier on both edges, so
+// every write a partition made in round k happens-before any read of it in
+// round k+1 — TSan-clean by construction.
+struct Engine::Pool {
+  explicit Pool(Engine& engine, unsigned workers) : engine_{engine} {
+    threads_.reserve(workers - 1);
+    for (unsigned t = 1; t < workers; ++t) {
+      threads_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs one window: partitions_[i]->sim().run(bound) for every i, across
+  /// the pool plus the calling thread. Returns when all are done.
+  void round(std::uint32_t partitions) {
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      next_.store(0, std::memory_order_relaxed);
+      pending_ = partitions;
+      ++round_;
+    }
+    cv_.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lock{mu_};
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void drain() {
+    const std::uint32_t count = engine_.partitionCount();
+    for (;;) {
+      const std::uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      engine_.runOne(i);
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (--pending_ == 0) doneCv_.notify_one();
+    }
+  }
+
+  void workerLoop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock{mu_};
+        cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+      }
+      drain();
+    }
+  }
+
+  Engine& engine_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  std::uint64_t round_{0};
+  std::uint32_t pending_{0};
+  bool stop_{false};
+  std::atomic<std::uint32_t> next_{0};
+};
+
+Engine::Engine(std::uint32_t partitions, std::uint64_t seed, EngineConfig cfg)
+    : cfg_{cfg} {
+  if (partitions == 0) {
+    throw std::invalid_argument("pdes: need at least one partition");
+  }
+  partitions_.reserve(partitions);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    partitions_.emplace_back(new Partition{*this, i, seed});
+    if (cfg_.audit) partitions_.back()->sim().enableAudit(cfg_.recordTrail);
+  }
+  lookaheadNs_.assign(static_cast<std::size_t>(partitions) * partitions, -1);
+  eot_.assign(partitions, kInfNs);
+  boundNs_.assign(partitions, kInfNs);
+}
+
+Engine::~Engine() = default;
+
+void Engine::link(std::uint32_t src, std::uint32_t dst, Duration lookahead) {
+  if (src >= partitionCount() || dst >= partitionCount() || src == dst) {
+    throw std::invalid_argument("pdes: bad link endpoints");
+  }
+  const std::int64_t ns = lookahead.toNanos();
+  if (ns <= 0) {
+    throw std::invalid_argument(
+        "pdes: link lookahead must be strictly positive — a zero-lookahead "
+        "channel deadlocks conservative synchronization");
+  }
+  std::int64_t& cell =
+      lookaheadNs_[static_cast<std::size_t>(src) * partitions_.size() + dst];
+  if (cell < 0) links_.push_back(Link{src, dst, ns});
+  for (Link& l : links_) {
+    if (l.src == src && l.dst == dst) l.lookaheadNs = ns;
+  }
+  cell = ns;
+}
+
+Duration Engine::lookahead(std::uint32_t src, std::uint32_t dst) const {
+  return Duration::nanos(lookaheadNs(src, dst));
+}
+
+std::size_t Engine::deliverPending() {
+  inboxScratch_.clear();
+  for (auto& p : partitions_) {
+    for (ChannelMessage& m : p->outbox_) inboxScratch_.push_back(std::move(m));
+    p->outbox_.clear();
+  }
+  if (inboxScratch_.empty()) return 0;
+  // Canonical merge order: every worker interleaving produces the same
+  // injection sequence, hence the same destination-side schedule stamps and
+  // the same same-instant tie-breaks.
+  std::sort(inboxScratch_.begin(), inboxScratch_.end(),
+            [](const ChannelMessage& a, const ChannelMessage& b) {
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.recvTimeNs != b.recvTimeNs) {
+                return a.recvTimeNs < b.recvTimeNs;
+              }
+              if (a.src != b.src) return a.src < b.src;
+              return a.srcSeq < b.srcSeq;
+            });
+  for (ChannelMessage& m : inboxScratch_) {
+    Simulator& dst = partitions_[m.dst]->sim();
+    if (m.recvTimeNs < dst.now().toNanos()) {
+      // Unreachable while the bounds below are correct; a silent clamp here
+      // would mask a synchronization bug as a subtle timing shift.
+      throw std::logic_error("pdes: message arrived in its target's past");
+    }
+    dst.auditNote(audit::combine(audit::combine(m.src, m.srcSeq),
+                                 static_cast<std::uint64_t>(m.recvTimeNs)));
+    dst.schedule(TimePoint::fromNanos(m.recvTimeNs), std::move(m.fn));
+  }
+  const std::size_t delivered = inboxScratch_.size();
+  inboxScratch_.clear();
+  return delivered;
+}
+
+void Engine::computeBounds(std::int64_t limitNs) {
+  // EOT fixed point: E_j = min(localNext_j, min over s->j (E_s + L_sj)).
+  // Seed with local next-event lower bounds, then relax over the link
+  // table until stable — Bellman-Ford on a graph of |partitions| nodes,
+  // where positive lookaheads guarantee convergence (each pass can only
+  // lower an E_j toward the global minimum plus accumulated lookaheads).
+  const std::uint32_t count = partitionCount();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    eot_[i] = clampInf(partitions_[i]->sim().nextEventTimeLowerBound().toNanos());
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const Link& l : links_) {
+      const std::int64_t viaLink = clampInf(eot_[l.src] + l.lookaheadNs);
+      if (viaLink < eot_[l.dst]) {
+        eot_[l.dst] = viaLink;
+        changed = true;
+      }
+    }
+  }
+  // bound_i: nothing can arrive at i before any incoming source's EOT plus
+  // that link's lookahead, so i may execute everything strictly earlier.
+  // Partitions with no incoming links are bounded by the run limit alone.
+  for (std::uint32_t i = 0; i < count; ++i) boundNs_[i] = kInfNs;
+  for (const Link& l : links_) {
+    boundNs_[l.dst] =
+        std::min(boundNs_[l.dst], clampInf(eot_[l.src] + l.lookaheadNs));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Execute events strictly below the bound, never past the run limit:
+    // run(t) is inclusive of t, hence the -1.
+    boundNs_[i] = std::min(boundNs_[i] - 1, limitNs);
+  }
+}
+
+void Engine::runOne(std::uint32_t i) {
+  Partition& p = *partitions_[i];
+  p.executed_ = p.sim().run(TimePoint::fromNanos(boundNs_[i]));
+}
+
+void Engine::runRound(unsigned workers) {
+  const std::uint32_t count = partitionCount();
+  if (workers > 1 && count > 1) {
+    if (!pool_) pool_ = std::make_unique<Pool>(*this, workers);
+    pool_->round(count);
+  } else {
+    for (std::uint32_t i = 0; i < count; ++i) runOne(i);
+  }
+}
+
+RunReport Engine::run(TimePoint limit) {
+  const std::int64_t limitNs = limit.toNanos();
+  RunReport report;
+
+  // Worker sourcing: explicit pin, or a lease on the process budget (a
+  // nested engine inside a seed sweep gets what the sweep left over).
+  const std::uint32_t count = partitionCount();
+  ThreadBudget::Lease lease{ThreadBudget::process(),
+                            cfg_.threads > 0 ? 0 : count - 1};
+  unsigned workers = cfg_.threads > 0 ? cfg_.threads : lease.workers();
+  if (workers > count) workers = count;
+  if (workers == 0) workers = 1;
+  report.workers = workers;
+
+  std::uint64_t stalledRounds = 0;
+  for (;;) {
+    const std::size_t delivered = deliverPending();
+    report.messagesDelivered += delivered;
+    computeBounds(limitNs);
+    bool done = true;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const TimePoint lb = partitions_[i]->sim().nextEventTimeLowerBound();
+      if (lb.toNanos() <= limitNs) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+    runRound(workers);
+    std::uint64_t executed = 0;
+    for (const auto& p : partitions_) executed += p->executed_;
+    report.eventsExecuted += executed;
+    ++report.rounds;
+    // Lookahead positivity guarantees progress (see computeBounds); if that
+    // invariant is ever broken this trips instead of spinning forever.
+    stalledRounds = executed == 0 && delivered == 0 ? stalledRounds + 1 : 0;
+    if (stalledRounds > 100000) {
+      throw std::runtime_error("pdes: synchronization stalled — no events, "
+                               "no messages, no progress");
+    }
+  }
+  pool_.reset();
+
+  // Align every clock exactly at the limit (run() with nothing due just
+  // advances time), so repeated run() calls and post-run probes see one
+  // consistent instant.
+  for (auto& p : partitions_) p->sim().run(limit);
+  return report;
+}
+
+audit::RunFingerprint Engine::auditFingerprint() const {
+  audit::RunFingerprint fp;
+  if (!cfg_.audit) return fp;
+  std::uint64_t digest = 0;
+  for (const auto& p : partitions_) {
+    const std::uint64_t d = p->sim().auditDigest();
+    digest = audit::combine(digest, d);
+    fp.trail.push_back(d);
+    fp.events += p->sim().executedEvents();
+  }
+  fp.digest = digest;
+  return fp;
+}
+
+std::uint64_t Engine::auditDigest() const { return auditFingerprint().digest; }
+
+}  // namespace msim::pdes

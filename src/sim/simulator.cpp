@@ -581,6 +581,60 @@ std::size_t Simulator::run(TimePoint limit) {
   return executed;
 }
 
+TimePoint Simulator::nextEventTimeLowerBound() const {
+  if (liveEvents_ == 0) return TimePoint::max();
+  constexpr std::int64_t kNone = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best = kNone;
+  // The partially consumed drain run holds exact times and stays sorted
+  // between run() calls (schedule-time inserts use the sorted path), so the
+  // first live entry in the unconsumed suffix is the true next dispatch of
+  // that tier.
+  for (std::size_t i = drainHead_; i < drainRun_.size(); ++i) {
+    const WheelEntry& e = drainRun_[i];
+    const Slot& slot = slotAt(e.slot);
+    if (slot.generation == e.gen && slot.live) {
+      best = e.timeNs;
+      break;
+    }
+  }
+  // Each level's nearest occupied lane: all other occupied lanes of the
+  // level hold strictly later times (one-revolution invariant), so the min
+  // live time in this lane is the level's exact next dispatch. A lane of
+  // pure tombstones still contributes its window start — early, never late,
+  // which keeps the bound conservative until a run() sweeps the lane and
+  // reclaims it.
+  for (int level = 0; level < kWheelLevels; ++level) {
+    if (wheelLevelCount_[static_cast<std::size_t>(level)] == 0) continue;
+    const int shift = wheelShift(level);
+    const std::int64_t cursor = wheelNowNs_ >> shift;
+    const int d = nextOccupiedDistance(
+        level, static_cast<std::uint32_t>(cursor) & kWheelSlotMask);
+    if (d < 0) continue;
+    const std::int64_t windowStart = (cursor + d) << shift;
+    if (windowStart >= best) continue;
+    const std::uint32_t lane =
+        static_cast<std::uint32_t>(cursor + d) & kWheelSlotMask;
+    const Lane& ln = wheelLanes_[laneIndex(level, lane)];
+    std::int64_t laneBest = kNone;
+    for (std::uint32_t b = ln.head; b != kNoBlock;) {
+      const LaneBlock& blk = laneBlockAt(b);
+      const std::uint32_t n = b == ln.tail ? ln.tailCount : kLaneBlockCap;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const WheelEntry& e = blk.items[i];
+        const Slot& slot = slotAt(e.slot);
+        if (slot.generation == e.gen && slot.live && e.timeNs < laneBest) {
+          laneBest = e.timeNs;
+        }
+      }
+      b = blk.next;
+    }
+    best = std::min(best, laneBest == kNone ? windowStart : laneBest);
+  }
+  if (!heap_.empty()) best = std::min(best, heap_.front().timeNs);
+  if (best == kNone) return TimePoint::max();
+  return TimePoint::fromNanos(std::max(best, now_.toNanos()));
+}
+
 PeriodicTask::PeriodicTask(Simulator& sim, Duration period, Callback cb)
     : PeriodicTask{sim, period, period, std::move(cb)} {}
 

@@ -25,9 +25,13 @@
 //    (and any stale wheel/overflow entry) is dead immediately — valid() is
 //    exact, not lazy. Tombstones are dropped at the first cascade that
 //    touches them instead of surviving until their due time.
-//  * Single-threaded by design (CP.1 notwithstanding): simulations are
-//    run-to-completion functions; parallelism, when needed, is across
-//    seeds (see core/seedsweep.hpp), never inside one simulation.
+//  * Single-threaded by design (CP.1 notwithstanding): one Simulator is one
+//    logical process and is never shared across threads. Parallelism lives
+//    a layer up — across seeds (core/seedsweep.hpp) or across partitions of
+//    one run (pdes/pdes.hpp), where each partition owns a private Simulator
+//    and the engine alone decides how far each may safely run. For that
+//    engine, nextEventTimeLowerBound() exposes a conservative bound on the
+//    next dispatch time without popping anything.
 
 #include <array>
 #include <cstdint>
@@ -96,6 +100,16 @@ class Simulator {
 
   /// Runs for `d` simulated time from the current clock.
   std::size_t runFor(Duration d) { return run(now_ + d); }
+
+  /// A conservative lower bound on the time of the next event run() would
+  /// dispatch: never later than the true next dispatch time, and exact
+  /// whenever the earliest pending tier holds a live entry (the bound is
+  /// only coarse — a lane-window start — when the nearest occupied lane
+  /// contains nothing but tombstones of cancelled events, which a
+  /// subsequent run() past that window cleans up). TimePoint::max() when
+  /// idle. This is the earliest-output-time probe the PDES engine uses to
+  /// compute safe execution bounds; it pops nothing and is O(lane scan).
+  [[nodiscard]] TimePoint nextEventTimeLowerBound() const;
 
   /// True if no pending (non-cancelled) events remain. O(1).
   [[nodiscard]] bool idle() const { return liveEvents_ == 0; }

@@ -9,6 +9,7 @@ namespace msim {
 namespace {
 
 struct InternTable {
+  // detlint:allow(thread-order) guards a dedup table whose contents are order-independent (pointers compared by text, never iterated), so lock order can't reach simulation state
   std::mutex mu;
   // Owned strings live in a deque so their addresses are stable; the map
   // keys view into them.
@@ -30,6 +31,7 @@ InternTable& table() {
 const std::string* MsgKind::intern(std::string_view s) {
   if (s.empty()) return nullptr;
   InternTable& t = table();
+  // detlint:allow(thread-order) same table guard: interning is idempotent, the winner of a racing insert is textually identical
   std::lock_guard<std::mutex> lock{t.mu};
   const auto it = t.byText.find(s);
   if (it != t.byText.end()) return it->second;

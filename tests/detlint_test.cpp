@@ -133,6 +133,84 @@ TEST(DetlintR3, PointerValuesAndValueKeysAreClean) {
   EXPECT_TRUE(fs.empty());
 }
 
+// -------------------------------------------------------- R5 thread order
+
+TEST(DetlintR5, FlagsThisThreadSleeps) {
+  const auto fs = scan(
+      "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "std::this_thread::sleep_until(deadline);\n"
+      "std::this_thread::yield();\n");
+  // One finding per line: this_thread itself is the offender; the qualified
+  // sleep_for/sleep_until are not double-reported.
+  ASSERT_EQ(fs.size(), 3u);
+  for (int line = 1; line <= 3; ++line) {
+    EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, line)) << line;
+  }
+}
+
+TEST(DetlintR5, FlagsBareSleepCalls) {
+  const auto fs = scan(
+      "sleep_for(backoff);\n"
+      "sleep_until(wakeAt);\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 2));
+}
+
+TEST(DetlintR5, FlagsStdMutexFamily) {
+  const auto fs = scan(
+      "std::mutex mu;\n"
+      "std::lock_guard<std::mutex> lock{mu};\n"
+      "std::shared_mutex rw;\n"
+      "std::recursive_timed_mutex rt;\n");
+  // Line 2 mentions std::mutex inside the lock_guard template argument, so
+  // the mutex type itself is what trips the rule there too.
+  ASSERT_EQ(fs.size(), 4u);
+  for (int line = 1; line <= 4; ++line) {
+    EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, line)) << line;
+  }
+}
+
+TEST(DetlintR5, FlagsThreadIdBranching) {
+  const auto fs = scan(
+      "if (worker.get_id() == owner) { fastPath(); }\n"
+      "auto id = std::this_thread::get_id();\n");
+  // Line 2 reports this_thread once, not this_thread + get_id.
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 2));
+}
+
+TEST(DetlintR5, LookalikesAreClean) {
+  const auto fs = scan(
+      "cv.wait_for(lock, timeout);\n"        // not a host sleep
+      "net::mutex m;\n"                      // project-local type
+      "MutexStats sleep_forensics;\n"        // substring, not a token
+      "// std::mutex is discussed here\n"    // comment
+      "const char* doc = \"sleep_for\";\n"   // string literal
+      "int mutex = 3;\n");                   // unqualified identifier
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR5, PragmaSuppresses) {
+  const auto fs = scan(
+      "std::mutex mu;  // detlint:allow(thread-order) guards an "
+      "order-independent dedup table\n"
+      "// detlint:allow(thread-order) first-error capture; any racing\n"
+      "// exception is a valid report.\n"
+      "std::lock_guard<std::mutex> lock{mu};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR5, SuppressionIsRuleScoped) {
+  // A thread-order pragma must not hide a wall-clock finding on the line.
+  const auto fs = scan(
+      "// detlint:allow(thread-order) justified elsewhere\n"
+      "std::mutex mu; int r = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::WallClock);
+}
+
 // --------------------------------------------------- pragmas and R4 hygiene
 
 TEST(DetlintPragma, SameLineSuppression) {

@@ -1,0 +1,337 @@
+// Tests for msim::pdes — conservative parallel simulation of one run — and
+// its supporting layers: the process-wide ThreadBudget ledger, the event
+// queue's nextEventTimeLowerBound() (the EOT seed), and the partitioned
+// cluster workload. The load-bearing property throughout is the PR's
+// acceptance criterion: audit digests are byte-identical for ANY worker
+// count, including under mid-run migration and adversarially small
+// lookahead. These tests run in the TSan CI job with MSIM_THREADS=4, so the
+// barrier protocol is exercised with real parallelism and scheduler
+// perturbation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "audit/sweep.hpp"
+#include "avatar/codec.hpp"
+#include "avatar/spec.hpp"
+#include "cluster/partitioned.hpp"
+#include "core/seedsweep.hpp"
+#include "pdes/pdes.hpp"
+#include "sim/simulator.hpp"
+#include "util/threadbudget.hpp"
+
+namespace {
+
+using namespace msim;
+
+// ---------------------------------------------------------- thread budget
+
+TEST(ThreadBudget, CapacityFloorsAtOne) {
+  ThreadBudget budget{0};
+  EXPECT_EQ(budget.capacity(), 1u);
+  EXPECT_EQ(budget.acquire(4), 0u);  // nothing beyond the calling thread
+  EXPECT_EQ(budget.extraInUse(), 0u);
+}
+
+TEST(ThreadBudget, GrantsUpToCapacityMinusOne) {
+  ThreadBudget budget{4};
+  EXPECT_EQ(budget.acquire(10), 3u);
+  EXPECT_EQ(budget.extraInUse(), 3u);
+  EXPECT_EQ(budget.acquire(1), 0u);  // exhausted, non-blocking
+  budget.release(3);
+  EXPECT_EQ(budget.extraInUse(), 0u);
+}
+
+TEST(ThreadBudget, NestedLeasesShareTheLedger) {
+  // The seed-sweep / PDES composition: an outer layer takes some workers,
+  // the nested engine gets only what is left, and everything returns on
+  // scope exit.
+  ThreadBudget budget{4};
+  {
+    const ThreadBudget::Lease outer{budget, 2};
+    EXPECT_EQ(outer.granted(), 2u);
+    EXPECT_EQ(outer.workers(), 3u);
+    {
+      const ThreadBudget::Lease inner{budget, 5};
+      EXPECT_EQ(inner.granted(), 1u);  // capacity 4 - main - 2 outer
+      EXPECT_EQ(inner.workers(), 2u);
+    }
+    EXPECT_EQ(budget.extraInUse(), 2u);
+  }
+  EXPECT_EQ(budget.extraInUse(), 0u);
+}
+
+// ------------------------------------------------- event-time lower bound
+
+TEST(PdesLowerBound, EmptyQueueIsMax) {
+  Simulator sim{1};
+  EXPECT_EQ(sim.nextEventTimeLowerBound(), TimePoint::max());
+}
+
+TEST(PdesLowerBound, ExactForPlainSchedules) {
+  Simulator sim{1};
+  sim.scheduleAfter(Duration::millis(5), [] {});
+  sim.scheduleAfter(Duration::micros(40), [] {});
+  sim.scheduleAfter(Duration::seconds(2), [] {});
+  EXPECT_EQ(sim.nextEventTimeLowerBound(),
+            TimePoint::epoch() + Duration::micros(40));
+
+  sim.runFor(Duration::millis(1));  // consumes the 40us event
+  EXPECT_EQ(sim.nextEventTimeLowerBound(),
+            TimePoint::epoch() + Duration::millis(5));
+}
+
+TEST(PdesLowerBound, ConservativeUnderCancellation) {
+  // Cancelling the earliest event leaves a tombstone; the bound may then be
+  // early (the lane window start) but must never overshoot the true next
+  // event — overshooting would let a neighbor execute past a real arrival.
+  Simulator sim{1};
+  const auto id = sim.scheduleAfter(Duration::micros(100), [] {});
+  sim.scheduleAfter(Duration::micros(300), [] {});
+  sim.cancel(id);
+  const TimePoint lb = sim.nextEventTimeLowerBound();
+  EXPECT_LE(lb, TimePoint::epoch() + Duration::micros(300));
+
+  sim.run();
+  EXPECT_EQ(sim.nextEventTimeLowerBound(), TimePoint::max());
+}
+
+// ----------------------------------------------------------- engine rules
+
+TEST(PdesEngine, SendWithoutLinkThrows) {
+  pdes::Engine engine{2, 1};
+  EXPECT_THROW(engine.partition(0).send(
+                   1, TimePoint::epoch() + Duration::seconds(1), [] {}),
+               std::logic_error);
+}
+
+TEST(PdesEngine, LookaheadBreachThrows) {
+  pdes::Engine engine{2, 1};
+  engine.link(0, 1, Duration::millis(10));
+  // Arrival 1ms out violates the 10ms promise the engine planned around.
+  EXPECT_THROW(engine.partition(0).send(
+                   1, TimePoint::epoch() + Duration::millis(1), [] {}),
+               std::logic_error);
+  // At exactly now + lookahead it is legal.
+  engine.partition(0).send(1, TimePoint::epoch() + Duration::millis(10),
+                           [] {});
+  const pdes::RunReport report = engine.run(TimePoint::epoch() +
+                                            Duration::millis(20));
+  EXPECT_EQ(report.messagesDelivered, 1u);
+}
+
+TEST(PdesEngine, DeliversInCanonicalOrder) {
+  // Partitions 1 and 2 both land messages on partition 0 at the SAME
+  // instant. Injection order must be (recvTime, src, srcSeq) regardless of
+  // which worker ran the senders, so the recorded order is fixed.
+  pdes::Engine engine{3, 1};
+  engine.link(1, 0, Duration::millis(1));
+  engine.link(2, 0, Duration::millis(1));
+
+  auto order = std::make_shared<std::vector<int>>();
+  const TimePoint at = TimePoint::epoch() + Duration::millis(5);
+  // Sends from src 2 are issued before src 1's, and out of seq order per
+  // source; canonical injection re-establishes (src, srcSeq).
+  engine.partition(2).send(0, at, [order] { order->push_back(20); });
+  engine.partition(2).send(0, at, [order] { order->push_back(21); });
+  engine.partition(1).send(0, at, [order] { order->push_back(10); });
+  engine.partition(1).send(0, at, [order] { order->push_back(11); });
+
+  engine.run(TimePoint::epoch() + Duration::millis(10));
+  ASSERT_EQ(order->size(), 4u);
+  EXPECT_EQ(*order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(PdesEngine, PingPongAdvancesBothClocksToLimit) {
+  pdes::Engine engine{2, 1};
+  engine.link(0, 1, Duration::millis(1));
+  engine.link(1, 0, Duration::millis(1));
+
+  // Each hop re-sends from the destination's event context; hops stop once
+  // past 10ms. The counter lives on partition 0's side of the protocol and
+  // is only ever touched by messages executing there... except the bounce
+  // touches it on 1 as well — so count per partition.
+  auto hops0 = std::make_shared<int>(0);
+  auto hops1 = std::make_shared<int>(0);
+  struct Bouncer {
+    pdes::Engine& engine;
+    std::shared_ptr<int> hops0, hops1;
+    void bounce(std::uint32_t self) {
+      const std::uint32_t other = 1 - self;
+      pdes::Partition& p = engine.partition(self);
+      ++(self == 0 ? *hops0 : *hops1);
+      const TimePoint next = p.sim().now() + Duration::millis(1);
+      if (next > TimePoint::epoch() + Duration::millis(10)) return;
+      p.send(other, next, [this, other] { bounce(other); });
+    }
+  };
+  auto bouncer = std::make_shared<Bouncer>(Bouncer{engine, hops0, hops1});
+  engine.partition(0).sim().schedule(TimePoint::epoch() + Duration::millis(1),
+                                     [bouncer] { bouncer->bounce(0); });
+
+  const TimePoint limit = TimePoint::epoch() + Duration::millis(20);
+  engine.run(limit);
+  EXPECT_EQ(engine.partition(0).sim().now(), limit);
+  EXPECT_EQ(engine.partition(1).sim().now(), limit);
+  // Hops at 1..10ms: odd ms on partition 0, even on partition 1.
+  EXPECT_EQ(*hops0, 5);
+  EXPECT_EQ(*hops1, 5);
+}
+
+TEST(PdesEngine, RunIsResumableWithIncreasingLimits) {
+  pdes::Engine engine{2, 1};
+  engine.link(0, 1, Duration::millis(2));
+  auto fired = std::make_shared<int>(0);
+  engine.partition(0).send(1, TimePoint::epoch() + Duration::millis(15),
+                           [fired] { ++*fired; });
+
+  engine.run(TimePoint::epoch() + Duration::millis(10));
+  EXPECT_EQ(*fired, 0);
+  engine.run(TimePoint::epoch() + Duration::millis(20));
+  EXPECT_EQ(*fired, 1);
+}
+
+// ------------------------------------------- determinism across workers
+
+// A synthetic multi-partition workload with RNG-driven local events and
+// cross-partition chatter: partition i ticks every ~37us for `horizon`,
+// folds random draws into its audit chain, and occasionally messages the
+// next partition in the ring.
+audit::RunFingerprint ringWorkload(std::uint64_t seed, unsigned threads,
+                                   Duration lookahead, Duration horizon) {
+  constexpr std::uint32_t kParts = 5;
+  pdes::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.audit = true;
+  pdes::Engine engine{kParts, seed, cfg};
+  for (std::uint32_t i = 0; i < kParts; ++i) {
+    engine.link(i, (i + 1) % kParts, lookahead);
+  }
+
+  struct Ticker {
+    pdes::Engine& engine;
+    Duration lookahead;
+    Duration horizon;
+    void tick(std::uint32_t id) {
+      pdes::Partition& p = engine.partition(id);
+      Simulator& sim = p.sim();
+      const std::uint64_t draw =
+          static_cast<std::uint64_t>(sim.rng().uniformInt(0, 1 << 20));
+      sim.auditNote(draw);
+      if (draw % 7 == 0) {
+        const std::uint32_t next = (id + 1) % 5;
+        p.send(next, sim.now() + lookahead,
+               [this, next] { engine.partition(next).sim().auditNote(next); });
+      }
+      const TimePoint at = sim.now() + Duration::micros(37);
+      if (at > TimePoint::epoch() + horizon) return;
+      sim.schedule(at, [this, id] { tick(id); });
+    }
+  };
+  auto ticker = std::make_shared<Ticker>(Ticker{engine, lookahead, horizon});
+  for (std::uint32_t i = 0; i < kParts; ++i) {
+    engine.partition(i).sim().schedule(
+        TimePoint::epoch() + Duration::micros(7 * (i + 1)),
+        [ticker, i] { ticker->tick(i); });
+  }
+  engine.run(TimePoint::epoch() + horizon + lookahead);
+  return engine.auditFingerprint();
+}
+
+TEST(PdesDeterminism, EngineDigestInvariantAcrossWorkerCounts) {
+  const auto base =
+      ringWorkload(42, 1, Duration::millis(1), Duration::millis(20));
+  ASSERT_NE(base.digest, 0u);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto fp =
+        ringWorkload(42, threads, Duration::millis(1), Duration::millis(20));
+    EXPECT_EQ(fp.digest, base.digest) << "threads=" << threads;
+  }
+}
+
+TEST(PdesDeterminism, LowLookaheadStressTerminatesAndMatches) {
+  // Lookahead comparable to the local event spacing (40us vs 37us ticks)
+  // forces thousands of tiny synchronization windows around a cycle — the
+  // regime where a deadlocked or off-by-one protocol would hang or diverge.
+  const auto base =
+      ringWorkload(7, 1, Duration::micros(40), Duration::millis(4));
+  const auto parallel =
+      ringWorkload(7, 4, Duration::micros(40), Duration::millis(4));
+  EXPECT_EQ(base.digest, parallel.digest);
+}
+
+// ------------------------------------------------- partitioned cluster
+
+cluster::PartitionedClusterConfig smallClusterConfig(std::uint64_t seed,
+                                                     unsigned threads) {
+  cluster::PartitionedClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.users = 90;
+  cfg.shards = 6;
+  cfg.threads = threads;
+  const AvatarSpec avatar;
+  cfg.updateProto.kind = avatarmsg::kPoseUpdate;
+  cfg.updateProto.size = avatar.bytesPerUpdate;
+  cfg.updateRateHz = avatar.updateRateHz;
+  return cfg;
+}
+
+struct ClusterRunResult {
+  cluster::PartitionedClusterStats stats;
+  audit::RunFingerprint fp;
+};
+
+ClusterRunResult runSmallCluster(std::uint64_t seed, unsigned threads) {
+  cluster::PartitionedCluster run{smallClusterConfig(seed, threads)};
+  // Drain the last shard mid-measurement: migration hops cross partitions
+  // while update traffic is live.
+  run.scheduleDrain(5, TimePoint::epoch() + Duration::millis(250));
+  ClusterRunResult out;
+  out.stats = run.run(Duration::millis(500), Duration::seconds(1));
+  out.fp = run.fingerprint();
+  return out;
+}
+
+TEST(PdesCluster, DigestInvariantAcrossThreadsWithMigration) {
+  const ClusterRunResult base = runSmallCluster(1234, 1);
+  ASSERT_NE(base.fp.digest, 0u);
+  EXPECT_GT(base.stats.broadcasts, 0u);
+  EXPECT_EQ(base.stats.expectedDeliveries, base.stats.delivered);
+  EXPECT_EQ(base.stats.migrations, 1u);
+  EXPECT_GT(base.stats.migratedUsers, 0u);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const ClusterRunResult r = runSmallCluster(1234, threads);
+    EXPECT_EQ(r.fp.digest, base.fp.digest) << "threads=" << threads;
+    EXPECT_EQ(r.stats.delivered, base.stats.delivered)
+        << "threads=" << threads;
+    EXPECT_EQ(r.stats.migratedUsers, base.stats.migratedUsers)
+        << "threads=" << threads;
+    EXPECT_EQ(r.stats.engine.rounds, base.stats.engine.rounds)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PdesCluster, VerifyThreadInvarianceComposesWithSeedSweep) {
+  // The full PR-3 + PR-6 stack: a seed sweep whose per-seed scenario is
+  // itself a parallel PDES run with threads=0, so nested engines lease
+  // whatever the sweep left in the process ThreadBudget. The verifier runs
+  // the sweep at 1 thread and at the MSIM_THREADS default and demands
+  // byte-identical fingerprints per seed.
+  const std::vector<std::uint64_t> seeds = defaultSeeds(2);
+  const auto report = audit::verifyThreadInvariance(
+      seeds,
+      [](std::uint64_t seed) {
+        cluster::PartitionedCluster run{smallClusterConfig(seed, 0)};
+        run.scheduleDrain(2, TimePoint::epoch() + Duration::millis(100));
+        (void)run.run(Duration::millis(200), Duration::millis(500));
+        return run.fingerprint();
+      });
+  EXPECT_TRUE(report.identical) << report.describe();
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py OLD.json NEW.json [--format text|md] [--threshold PCT]
+                        [--gate PCT]
 
 Matches benchmarks by name (repetition aggregates: the ``_mean`` row is
 preferred when repetitions > 1, otherwise the raw row). For each benchmark
@@ -12,9 +13,13 @@ present in both files it reports real time, the throughput-style counters
 --threshold (default 5%) are marked so a reader can skim for regressions on
 a noisy box.
 
-Exit status is always 0: this is a reporting tool, not a gate. The numbers
-only mean anything when both files came from Release builds of the same
-machine (see tools/run_simcore_bench.sh, which refuses Debug trees).
+By default the exit status is always 0: a reporting tool, not a gate. With
+--gate PCT it becomes one — exit 1 when any benchmark's time regressed
+(got slower) by more than PCT percent. Speedups never gate, and benchmarks
+present in only one file are reported but don't gate either (renames and
+new benchmarks shouldn't fail a perf check). The numbers only mean anything
+when both files came from Release builds of the same machine (see
+tools/run_simcore_bench.sh, which refuses Debug trees).
 
 Only the Python standard library is used.
 """
@@ -163,6 +168,8 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--format", choices=("text", "md"), default="text")
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="flag rows whose |time delta %%| exceeds this")
+    ap.add_argument("--gate", type=float, default=None, metavar="PCT",
+                    help="exit 1 when any time regression exceeds PCT%%")
     args = ap.parse_args(argv)
     entries = diff_rows(load_rows(args.old), load_rows(args.new),
                         args.threshold)
@@ -170,6 +177,18 @@ def main(argv: list[str]) -> int:
         print("no benchmarks found in either file", file=sys.stderr)
         return 0
     print(render(entries, args.format, args.threshold))
+    if args.gate is not None:
+        regressed = [e for e in entries
+                     if e.get("time_pct") is not None
+                     and e["time_pct"] > args.gate]
+        if regressed:
+            print(f"\nGATE FAILED: {len(regressed)} benchmark(s) regressed "
+                  f"beyond +{args.gate:g}%:", file=sys.stderr)
+            for e in regressed:
+                print(f"  {e['name']}: {fmt_pct(e['time_pct'])}",
+                      file=sys.stderr)
+            return 1
+        print(f"\ngate ok: no time regression beyond +{args.gate:g}%")
     return 0
 
 

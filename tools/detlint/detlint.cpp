@@ -102,7 +102,7 @@ void parsePragmas(std::string_view comment, int startLine,
         pragma.malformed = true;
         pragma.error = "unknown rule '" + std::string{name} +
                        "' in detlint:allow (expected unordered-iter, "
-                       "wall-clock, pointer-key)";
+                       "wall-clock, pointer-key, thread-order)";
         break;
       }
       pragma.rules.push_back(rule);
@@ -277,6 +277,19 @@ bool pointerishKeyIdent(std::string_view id) {
          id == "unique_ptr";
 }
 
+/// Mutex-family type names: flagged when std-qualified (a project-local
+/// `Foo::mutex` wrapper stays clean, like R3's qualifier idiom).
+bool mutexTypeName(std::string_view id) {
+  return id == "mutex" || id == "recursive_mutex" || id == "timed_mutex" ||
+         id == "shared_mutex" || id == "shared_timed_mutex" ||
+         id == "recursive_timed_mutex";
+}
+
+/// Host-sleep call names (std::this_thread's scheduler-dependent waits).
+bool hostSleepName(std::string_view id) {
+  return id == "sleep_for" || id == "sleep_until";
+}
+
 struct Analyzer {
   const std::vector<Token>& toks;
   std::string_view filename;
@@ -379,6 +392,44 @@ struct Analyzer {
 
       // R3: pointer-keyed ordered containers (std::map<T*, ...> etc.).
       if (orderedAssocName(id) && qualifier(i) == "std") checkPointerKey(i);
+
+      // R5: host-thread constructs whose observable effects depend on the
+      // OS scheduler. One finding per construct: `this_thread` covers its
+      // own qualified calls, so `this_thread::sleep_for` reports once.
+      if (id == "this_thread") {
+        report(t.line, Rule::ThreadOrder,
+               "std::this_thread in sim-visible code: host sleeps, yields "
+               "and thread ids depend on the OS scheduler; simulated delays "
+               "come from Simulator scheduling "
+               "(detlint:allow(thread-order) for harness-only code)");
+        continue;
+      }
+      if (hostSleepName(id) && qualifier(i) != "this_thread") {
+        report(t.line, Rule::ThreadOrder,
+               "'" + t.text +
+                   "' sleeps the host thread: wall-time waits are invisible "
+                   "to the simulation clock and scheduler-dependent; "
+                   "schedule an event instead");
+        continue;
+      }
+      if (mutexTypeName(id) && qualifier(i) == "std") {
+        report(t.line, Rule::ThreadOrder,
+               "std::" + t.text +
+                   " in sim-visible code: lock-acquisition order is an OS "
+                   "race, so any iteration or accumulation it orders is "
+                   "nondeterministic; structure parallelism as barriers with "
+                   "canonical merges (pdes/pdes.hpp) or justify with "
+                   "detlint:allow(thread-order)");
+        continue;
+      }
+      if (id == "get_id" && qualifier(i) != "this_thread") {
+        report(t.line, Rule::ThreadOrder,
+               "thread-id inspection in sim-visible code: branching on "
+               "which worker runs is nondeterministic by construction "
+               "(detlint:allow(thread-order) if it cannot reach simulation "
+               "state)");
+        continue;
+      }
     }
   }
 
@@ -419,6 +470,7 @@ const char* ruleName(Rule r) {
     case Rule::WallClock: return "wall-clock";
     case Rule::PointerKey: return "pointer-key";
     case Rule::Pragma: return "pragma";
+    case Rule::ThreadOrder: return "thread-order";
   }
   return "?";
 }
@@ -427,6 +479,7 @@ bool ruleFromName(std::string_view name, Rule& out) {
   if (name == "unordered-iter") { out = Rule::UnorderedIter; return true; }
   if (name == "wall-clock") { out = Rule::WallClock; return true; }
   if (name == "pointer-key") { out = Rule::PointerKey; return true; }
+  if (name == "thread-order") { out = Rule::ThreadOrder; return true; }
   return false;
 }
 

@@ -26,6 +26,17 @@
 //                      ordering over them is nondeterministic.
 //   R4 pragma          detlint:allow pragma hygiene — unknown rule names and
 //                      missing justifications are themselves findings.
+//   R5 thread-order    host-thread constructs whose effects depend on the OS
+//                      scheduler, in sim-visible paths: std::this_thread
+//                      (sleep_for / sleep_until / yield / get_id),
+//                      std::mutex-family locks (lock acquisition order is a
+//                      race — iteration or accumulation ordered by a mutex
+//                      is nondeterministic), and thread-id-dependent
+//                      branching (get_id). Parallel harnesses must be
+//                      barrier-structured so results never depend on which
+//                      worker ran what (see pdes/pdes.hpp), and simulated
+//                      delays must come from Simulator scheduling, never
+//                      host sleeps.
 //
 // Suppression grammar (inside any comment):
 //   // detlint:allow(<rule>[,<rule>...]) <justification>       line + next
@@ -47,6 +58,7 @@ enum class Rule : std::uint8_t {
   WallClock,      // R2
   PointerKey,     // R3
   Pragma,         // R4
+  ThreadOrder,    // R5
 };
 
 [[nodiscard]] const char* ruleName(Rule r);
