@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <vector>
 
@@ -228,6 +230,119 @@ void BM_RelayBroadcast(benchmark::State& state) {
                    : 0.0);
 }
 BENCHMARK(BM_RelayBroadcast)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_RelayBroadcastSoA(benchmark::State& state) {
+  // The SoA all-to-all hot path at room sizes far past the paper's testbed:
+  // fan-out is a branch-light scan over dense slot columns, and the
+  // caller-owned shared Message means the measured loop allocates nothing
+  // at all (budget: exactly zero per forward).
+  const int users = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  DataSpec spec;  // no interest filters: every broadcast reaches N-1 peers
+  spec.queueCoefMs = 0.0;
+  RelayRoom room{sim, spec};
+  room.reserveUsers(static_cast<std::size_t>(users));
+  for (int i = 0; i < users; ++i) {
+    room.joinDetached(1000 + static_cast<std::uint64_t>(i));
+  }
+  auto m = std::make_shared<const Message>(Message{
+      avatarmsg::kPoseUpdate, ByteSize::bytes(220)});
+
+  room.broadcast(1000, m);
+  sim.run();
+
+  std::int64_t forwards = 0;
+  std::int64_t broadcasts = 0;
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    const std::uint64_t sender =
+        1000 + static_cast<std::uint64_t>(broadcasts) % users;
+    room.broadcast(sender, m);
+    sim.run();
+    ++broadcasts;
+    forwards += users - 1;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(forwards);
+  state.counters["allocs_per_forward"] = benchmark::Counter(
+      forwards > 0 ? static_cast<double>(allocs) / static_cast<double>(forwards)
+                   : 0.0);
+  state.counters["broadcasts_per_second"] = benchmark::Counter(
+      static_cast<double>(broadcasts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RelayBroadcastSoA)->Arg(1000)->Arg(10000);
+
+void BM_InterestGridFanout(benchmark::State& state) {
+  // The headline scaling path (DESIGN.md §12): avatars on a 4 m lattice
+  // (~0.06 avatars/m², a busy plaza — each 25 m AOI holds ~120 avatars,
+  // 4× the paper's biggest sessions), so a broadcast scans a few hundred
+  // grid candidates and forwards to the distance-banded subset, independent
+  // of room population. The 16 m cells keep the cell walk to ~4×4 table
+  // lookups per broadcast (cell edge ≈ ⅔ of the cull radius); the candidate
+  // circle tests stream through each cell's co-located arrays. Per-broadcast
+  // cost must stay flat from 1k to 100k avatars, with zero heap allocations
+  // in the measured loop.
+  const int users = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  DataSpec spec;
+  spec.queueCoefMs = 0.0;
+  spec.interestGrid = true;
+  spec.interestCellM = 16.0;
+  spec.interestRadiusM = 25.0;
+  spec.interestFullRadiusM = 10.0;
+  spec.interestHalfRadiusM = 40.0;  // clipped by the 25 m cull
+  RelayRoom room{sim, spec};
+  room.reserveUsers(static_cast<std::size_t>(users));
+  const int side = static_cast<int>(std::ceil(std::sqrt(users)));
+  for (int i = 0; i < users; ++i) {
+    const std::uint64_t id = 1000 + static_cast<std::uint64_t>(i);
+    room.joinDetached(id);
+    room.updatePose(id, Pose{4.0 * (i % side), 4.0 * (i / side), 0});
+  }
+  auto m = std::make_shared<const Message>(Message{
+      avatarmsg::kPoseUpdate, ByteSize::bytes(220)});
+
+  // Warm up through two full passes of the measured sender walk: every
+  // sender's pose sequence visits both LoD parities (odd sequences forward
+  // only the full-rate disc, even ones add the half-rate ring), so the
+  // batch pool, the timer-wheel lanes, and every grid neighborhood reach
+  // steady state before the measured loop — which must then allocate
+  // nothing at all.
+  for (std::int64_t w = 0; w < 2 * users; ++w) {
+    const std::uint64_t sender =
+        1000 + (static_cast<std::uint64_t>(w) * 7919) % users;
+    room.broadcast(sender, m);
+    sim.run();
+  }
+
+  std::int64_t broadcasts = 2 * users;  // continue the walk mid-phase
+  const std::int64_t broadcastsBefore = broadcasts;
+  const std::uint64_t forwardedBefore = room.forwardedMessages();
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    // A deterministic large-stride walk, so consecutive senders sit in
+    // different grid neighborhoods instead of reusing hot cells.
+    const std::uint64_t sender =
+        1000 + (static_cast<std::uint64_t>(broadcasts) * 7919) % users;
+    room.broadcast(sender, m);
+    sim.run();
+    ++broadcasts;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  const std::uint64_t forwards = room.forwardedMessages() - forwardedBefore;
+  const std::int64_t measured = broadcasts - broadcastsBefore;
+  state.SetItemsProcessed(measured);
+  state.counters["forwards_per_broadcast"] = benchmark::Counter(
+      measured > 0
+          ? static_cast<double>(forwards) / static_cast<double>(measured)
+          : 0.0);
+  state.counters["allocs_per_forward"] = benchmark::Counter(
+      forwards > 0 ? static_cast<double>(allocs) / static_cast<double>(forwards)
+                   : 0.0);
+  state.counters["broadcasts_per_second"] = benchmark::Counter(
+      static_cast<double>(measured), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterestGridFanout)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_PeriodicTasks(benchmark::State& state) {
   for (auto _ : state) {

@@ -3,9 +3,14 @@
 namespace msim {
 
 double normalizeAngleDeg(double deg) {
-  while (deg > 180.0) deg -= 360.0;
-  while (deg <= -180.0) deg += 360.0;
-  return deg;
+  // Closed form: constant time for any magnitude. The subtract-360 loop
+  // this replaces was O(|deg|/360) and stopped terminating once |deg| grew
+  // past ~2^53 (360 falls below one ULP, so `deg -= 360` is a no-op) —
+  // reachable from unnormalized client-reported yaws fed through the
+  // viewport predictor. std::remainder returns [-180, 180]; fold the open
+  // end onto +180 to keep the (-180, 180] contract.
+  const double r = std::remainder(deg, 360.0);
+  return r <= -180.0 ? r + 360.0 : r;
 }
 
 double bearingDeg(const Pose& from, double x, double y) {

@@ -14,6 +14,12 @@
 // state with a small intra-site forwarding delay. Above this tier sits
 // src/cluster: many rooms (instances) behind a gateway, which is how real
 // platforms actually absorb large populations (§4.2, Table 2).
+//
+// Room state is structure-of-arrays (DESIGN.md §12): per-user fields live
+// in flat columns indexed by a dense slot, so the pose fan-out is a scan
+// over contiguous position/orientation arrays — and, when the spatial
+// interest grid is configured, over just the sender's neighboring AOI
+// cells instead of the whole membership.
 
 #include <cstdint>
 #include <functional>
@@ -23,6 +29,8 @@
 
 #include "avatar/motion.hpp"
 #include "avatar/viewport.hpp"
+#include "interest/grid.hpp"
+#include "interest/lod.hpp"
 #include "platform/spec.hpp"
 #include "transport/tls.hpp"
 #include "transport/udp.hpp"
@@ -59,7 +67,8 @@ struct RelayProbeHooks {
 
 /// One user's portable relay state, used for live migration between rooms
 /// (cluster instance handoff) — everything the receiving shard needs so
-/// viewport prediction and activity tracking continue seamlessly.
+/// viewport prediction, activity tracking, per-flow delivery order, and
+/// LoD decimation cadence continue seamlessly.
 struct RelayUserRecord {
   std::uint64_t id{0};
   Pose pose;
@@ -68,41 +77,64 @@ struct RelayUserRecord {
   TimePoint poseAt;
   TimePoint prevPoseAt;
   TimePoint lastActivity;
+  /// Sender-side rate state: the per-delay-class FIFO egress clocks and the
+  /// pose sequence number driving distance-banded decimation.
+  TimePoint flowNextSame;
+  TimePoint flowNextCross;
+  std::uint32_t poseSeq{0};
 };
 
-/// A full room snapshot for live migration: user records in id order plus
-/// the per-(sender → receiver) flow clocks and LoD counters, so a migrated
-/// room cannot reorder or double-decimate a stream mid-handoff.
+/// A full room snapshot for live migration: user records in id order. All
+/// per-flow/per-LoD rate state rides inside the records (it is per sender,
+/// not per pair), so a migrated room cannot reorder or double-decimate a
+/// stream mid-handoff.
 struct RelayRoomSnapshot {
   std::vector<RelayUserRecord> users;  // sorted by id
-  /// flowNextOut[receiverIdx][senderIdx], indices into `users`.
-  std::vector<std::vector<TimePoint>> flowNextOut;
-  /// lodCounters[receiverIdx][senderIdx], indices into `users`.
-  std::vector<std::vector<std::uint32_t>> lodCounters;
+};
+
+/// Per-stage fan-out counters (messages, not bytes): how each receiver
+/// candidate of a pose broadcast was resolved. Tier indices follow the
+/// room's interest bands (tier 0 = nearest / unfiltered).
+struct RelayInterestStats {
+  std::uint64_t forwardedByTier[interest::kMaxBands]{};
+  std::uint64_t viewportFiltered{0};  // angular predicate rejections
+  std::uint64_t lodFiltered{0};       // distance-band decimations
+  std::uint64_t culledByRadius{0};    // visited, but outside the cull radius
+  std::uint64_t culledByCell{0};      // never visited (grid cell prefilter)
 };
 
 /// Shared state of one social event across relay replicas.
 class RelayRoom {
  public:
-  explicit RelayRoom(Simulator& sim, DataSpec spec)
-      : sim_{sim}, spec_{std::move(spec)} {}
+  RelayRoom(Simulator& sim, DataSpec spec);
 
   [[nodiscard]] const DataSpec& spec() const { return spec_; }
-  [[nodiscard]] std::size_t userCount() const { return users_.size(); }
+  [[nodiscard]] std::size_t userCount() const { return activeUsers_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] RelayProbeHooks& hooks() { return hooks_; }
 
-  /// Pre-sizes the id→index table for `users` (join stays rehash-free up to
-  /// that count). Called by deployments that know the expected event size.
+  /// Pre-sizes the slot columns, id→slot table, and interest grid for
+  /// `users` (join stays rehash-free up to that count). Called by
+  /// deployments that know the expected event size.
   void reserveUsers(std::size_t users);
 
   /// Total bytes the room refused to forward due to the viewport filter.
   [[nodiscard]] ByteSize viewportFilteredBytes() const { return filtered_; }
   /// Total bytes decimated by distance-based interest management.
   [[nodiscard]] ByteSize lodFilteredBytes() const { return lodFiltered_; }
+  /// Total bytes dropped outside the interest radius (cell or circle cull).
+  [[nodiscard]] ByteSize interestCulledBytes() const { return culled_; }
   [[nodiscard]] ByteSize forwardedBytes() const { return forwarded_; }
   /// Forwards scheduled since construction (one per receiver per broadcast).
   [[nodiscard]] std::uint64_t forwardedMessages() const { return forwardedMsgs_; }
+  /// Per-tier / per-stage breakdown of the same counters.
+  [[nodiscard]] const RelayInterestStats& interestStats() const {
+    return stats_;
+  }
+  /// The interest policy the room compiled from its DataSpec.
+  [[nodiscard]] const interest::InterestParams& interestParams() const {
+    return interest_;
+  }
 
   /// Scales the shard's processing-delay model at runtime: the cluster
   /// capacity model raises this as a saturated instance's queues grow
@@ -125,45 +157,30 @@ class RelayRoom {
   /// Starts periodic eviction of users silent for `timeout` (a client whose
   /// session broke stops being forwarded to — its peers' screens lose it).
   void startEvictionSweep(Duration timeout = Duration::seconds(15));
-  /// Forwards `m` from `fromUser` to every other user, applying the
-  /// viewport filter, processing delay, and queueing growth.
+  /// Forwards `m` from `fromUser` to every other interested user, applying
+  /// the interest scan (radius cull, LoD decimation, angular predicate) to
+  /// pose messages, plus processing delay and queueing growth.
   void broadcast(std::uint64_t fromUser, const Message& m);
+  /// Zero-allocation overload: fans out a caller-owned immutable message.
+  /// The by-value overload above allocates exactly one shared copy per
+  /// broadcast; this one allocates nothing at all.
+  void broadcast(std::uint64_t fromUser, std::shared_ptr<const Message> m);
 
   // ---- live migration (cluster handoff) -----------------------------------
   /// Current membership in id order.
   [[nodiscard]] std::vector<std::uint64_t> userIds() const;
-  /// Captures every user's relay state plus flow clocks / LoD counters.
+  /// Captures every user's relay state including flow clocks / LoD cadence.
   [[nodiscard]] RelayRoomSnapshot exportSnapshot() const;
   /// Adopts a migrated room wholesale: users join this room (detached, or
   /// homed via `homeFor` when provided) with pose history, activity, flow
-  /// clocks and decimation counters carried over, so in-order delivery and
-  /// LoD cadence survive the handoff. Users already present are skipped.
+  /// clocks and decimation cadence carried over, so in-order delivery and
+  /// LoD rhythm survive the handoff.
   void importSnapshot(const RelayRoomSnapshot& snap,
                       const std::function<RelayServer*(std::uint64_t)>& homeFor = {});
 
  private:
-  // Room state is a dense vector sorted by user id: broadcast() walks it
-  // linearly (cache-friendly, no node-based lookups), and per-sender state
-  // (LoD decimation counters, per-flow FIFO egress clocks) lives in flat
-  // columns indexed by the sender's position in that vector. Joins/leaves
-  // shift the columns to keep them aligned — O(n) work on the rare
-  // membership path buys O(1) access on the per-forward path.
-  struct UserState {
-    std::uint64_t id{0};
-    RelayServer* home{nullptr};
-    Pose pose;
-    bool poseKnown{false};
-    TimePoint lastActivity;
-    // For viewport prediction: previous report, to estimate angular rate.
-    Pose prevPose;
-    TimePoint poseAt;
-    TimePoint prevPoseAt;
-    // Per-sender decimation counters for interest LoD (column: sender index).
-    std::vector<std::uint32_t> lodCounters;
-    // Per (sender → this user) FIFO egress clock: a real relay's per-flow
-    // queues never reorder one user's stream to another.
-    std::vector<TimePoint> flowNextOut;
-  };
+  /// ids_ sentinel marking a free slot.
+  static constexpr std::uint64_t kNoUser = ~std::uint64_t{0};
 
   /// One receiver of a batched fan-out delivery.
   struct BatchEntry {
@@ -172,16 +189,17 @@ class RelayRoom {
   };
   using Batch = std::vector<BatchEntry>;
 
-  /// The receiver's facing direction, extrapolated `leadMs` into the future
-  /// from its last two pose reports (the §6.1 prediction problem).
-  [[nodiscard]] static double predictYawDeg(const UserState& user, double leadMs);
-
   [[nodiscard]] Duration sampleProcessingDelay();
 
-  [[nodiscard]] UserState* find(std::uint64_t userId);
   bool joinImpl(std::uint64_t userId, RelayServer* home);
-  /// Rebuilds index_ entries for users at positions [from, end).
-  void reindexFrom(std::size_t from);
+  /// Appends one default-initialized row to every column.
+  std::uint32_t growColumns();
+  /// Clears a slot's own pose/activity state for a (re)join.
+  void resetJoinState(std::uint32_t slot, RelayServer* home);
+  /// Removes the slot from whichever placement structure holds it.
+  void dropPlacement(std::uint32_t slot);
+  void unplacedInsert(std::uint32_t slot);
+  void unplacedErase(std::uint32_t slot);
 
   [[nodiscard]] Batch acquireBatch();
   void releaseBatch(Batch&& batch);
@@ -192,22 +210,63 @@ class RelayRoom {
   Simulator& sim_;
   DataSpec spec_;
   RelayProbeHooks hooks_;
-  std::vector<UserState> users_;  // sorted by id
-  FlatMap64<std::uint32_t> index_;
+
+  // ---- structure-of-arrays room state (DESIGN.md §12) ---------------------
+  // Per-user fields as contiguous columns indexed by dense slot. Slots are
+  // recycled LIFO via freeSlots_ (deterministic: a pure function of the
+  // join/leave history), with ids_[slot] == kNoUser marking holes. Pose
+  // velocity is represented by the (prev, current) report pair plus
+  // timestamps — the same data the §6.1 yaw-rate predictor needs.
+  std::vector<std::uint64_t> ids_;
+  std::vector<RelayServer*> homes_;
+  std::vector<double> posX_;
+  std::vector<double> posY_;
+  std::vector<double> yawDeg_;
+  std::vector<double> prevX_;
+  std::vector<double> prevY_;
+  std::vector<double> prevYawDeg_;
+  std::vector<TimePoint> poseAt_;
+  std::vector<TimePoint> prevPoseAt_;
+  std::vector<TimePoint> lastActivity_;
+  std::vector<std::uint8_t> poseKnown_;
+  // Sender-side rate state: the pose sequence number (decimation clock for
+  // every band) and per-delay-class FIFO egress clocks. Every receiver of a
+  // broadcast shares one of two delivery instants (same-home / cross-home),
+  // each clamped monotonic per sender, so no (sender → receiver) flow can
+  // reorder — without the O(N²) per-pair clock matrix this replaces.
+  std::vector<std::uint32_t> poseSeq_;
+  std::vector<TimePoint> flowNextSame_;
+  std::vector<TimePoint> flowNextCross_;
+
+  std::vector<std::uint32_t> freeSlots_;  // LIFO recycle stack
+  std::vector<std::uint32_t> unplaced_;   // sorted slots with no known pose
+  FlatMap64<std::uint32_t> index_;        // user id → slot
+  std::size_t activeUsers_{0};
+  // Members bound to uniformHome_ (the first member's replica). Equal to
+  // activeUsers_ iff the room is single-shard, which lets broadcast() skip
+  // the per-receiver homes_ gather (pointer compared for equality only —
+  // never ordered or hashed).
+  RelayServer* uniformHome_{nullptr};
+  std::size_t uniformHomeCount_{0};
+
+  // Interest policy compiled from spec_, and the AOI grid (maintained only
+  // when the policy has a bounded cull radius).
+  interest::InterestParams interest_;
+  interest::InterestGrid grid_;
+  bool gridActive_{false};
+
   ByteSize filtered_;
   ByteSize lodFiltered_;
+  ByteSize culled_;
   ByteSize forwarded_;
   std::uint64_t forwardedMsgs_{0};
+  RelayInterestStats stats_;
   std::unique_ptr<PeriodicTask> evictionTask_;
   Duration evictionTimeout_ = Duration::seconds(15);
-  // Batched fan-out scratch state: same-time receivers of one broadcast
-  // share a single queue event walking a BatchEntry range; the entry
-  // buffers recycle through batchPool_ (see DESIGN.md §7).
-  struct PendingGroup {
-    TimePoint at;
-    Batch entries;
-  };
-  std::vector<PendingGroup> groupScratch_;
+  std::vector<std::uint64_t> evictScratch_;
+  // Batched fan-out scratch: same-instant receivers of one broadcast share
+  // a single queue event walking a BatchEntry range; the entry buffers
+  // recycle through batchPool_ (see DESIGN.md §7).
   std::vector<Batch> batchPool_;
 };
 

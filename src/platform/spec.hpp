@@ -7,6 +7,7 @@
 // disrupted, or geographic must EMERGE from the mechanisms in relay.cpp /
 // client_app.cpp — see DESIGN.md §4 for the calibration-vs-emergence line.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,18 @@ struct DataSpec {
   bool interestLod{false};
   double lodNearRadius{2.0};
   double lodFarRadius{5.0};
+  /// Spatial interest grid (src/interest): pose updates fan out only to
+  /// receivers within `interestRadiusM` of the sender, at distance-banded
+  /// rates — full rate inside interestFullRadiusM, half rate to
+  /// interestHalfRadiusM, one-in-interestFarKeepEvery beyond. Off on every
+  /// measured platform (only AltspaceVR culls at all, and only by angle);
+  /// this is the scaling path for rooms far past the paper's 4 users.
+  bool interestGrid{false};
+  double interestCellM{8.0};         // AOI cell edge (quantization step)
+  double interestRadiusM{100.0};     // hard cull beyond this (<= 0: none)
+  double interestFullRadiusM{10.0};  // full update rate inside
+  double interestHalfRadiusM{40.0};  // half rate inside
+  std::uint32_t interestFarKeepEvery{10};  // 1-in-N beyond the half radius
   /// Server processing per forwarded message (Table 4 "Server" column).
   double serverProcMeanMs{30.0};
   double serverProcStdMs{6.0};

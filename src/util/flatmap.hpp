@@ -88,11 +88,18 @@ class FlatMap64 {
       if (!used_[i]) return false;
       if (cells_[i].key == key) break;
     }
+    // Backward-shift: walk the cluster after the hole and pull back every
+    // element whose ideal slot lies cyclically at or before the hole. An
+    // element sitting at (or probing from) a slot after the hole must be
+    // *skipped*, not treated as the end of the cluster — stopping there
+    // would strand later elements behind the new empty slot.
     std::size_t hole = i;
-    for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
-      if (!used_[j] || probeDistance(j) == 0) break;
-      cells_[hole] = std::move(cells_[j]);
-      hole = j;
+    for (std::size_t j = (hole + 1) & mask_; used_[j]; j = (j + 1) & mask_) {
+      const std::size_t ideal = idealSlot(cells_[j].key);
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        cells_[hole] = std::move(cells_[j]);
+        hole = j;
+      }
     }
     used_[hole] = 0;
     cells_[hole] = Cell{};
@@ -154,10 +161,6 @@ class FlatMap64 {
   // across the whole table.
   [[nodiscard]] std::size_t idealSlot(std::uint64_t key) const {
     return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ull) & mask_;
-  }
-
-  [[nodiscard]] std::size_t probeDistance(std::size_t slot) const {
-    return (slot - idealSlot(cells_[slot].key)) & mask_;
   }
 
   void rehash(std::size_t newCapacity) {

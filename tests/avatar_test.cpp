@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
 #include "avatar/codec.hpp"
 #include "avatar/motion.hpp"
 #include "avatar/spec.hpp"
@@ -31,6 +34,41 @@ TEST(MotionTest, NormalizeAngle) {
   EXPECT_DOUBLE_EQ(normalizeAngleDeg(-190.0), 170.0);
   EXPECT_DOUBLE_EQ(normalizeAngleDeg(720.0), 0.0);
   EXPECT_DOUBLE_EQ(normalizeAngleDeg(180.0), 180.0);
+}
+
+TEST(MotionTest, NormalizeAngleSeamSweep) {
+  // Property sweep across the ±180° seam at every winding count: the result
+  // must land in (-180, 180] and be 360°-congruent with the input. The
+  // inputs here are exactly representable, so the checks are exact.
+  const double bases[] = {-180.0, -179.5, -179.0, -0.5,  0.0,
+                          0.5,    179.0,  179.5,  180.0, 180.5};
+  for (int k = -4; k <= 4; ++k) {
+    for (const double base : bases) {
+      const double deg = base + 360.0 * k;
+      const double n = normalizeAngleDeg(deg);
+      EXPECT_GT(n, -180.0) << "deg=" << deg;
+      EXPECT_LE(n, 180.0) << "deg=" << deg;
+      EXPECT_DOUBLE_EQ(normalizeAngleDeg(n - deg), 0.0) << "deg=" << deg;
+      // The seam itself folds up: -180 and every odd multiple map to +180.
+      if (base == -180.0 || base == 180.0) {
+        EXPECT_DOUBLE_EQ(n, 180.0) << "deg=" << deg;
+      }
+    }
+  }
+}
+
+TEST(MotionTest, NormalizeAngleHugeMagnitudesTerminate) {
+  // The old subtract-360-in-a-loop implementation needed |deg|/360
+  // iterations — a yaw integration that blew up to 1e18 degrees would hang
+  // the simulation. The remainder() form is O(1) at any magnitude.
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(360.0 * 1e9 + 45.0), 45.0);
+  EXPECT_DOUBLE_EQ(normalizeAngleDeg(-360.0 * 1e9 - 45.0), -45.0);
+  const double huge = normalizeAngleDeg(1e18);
+  EXPECT_GT(huge, -180.0);
+  EXPECT_LE(huge, 180.0);
+  const double negHuge = normalizeAngleDeg(-1e18);
+  EXPECT_GT(negHuge, -180.0);
+  EXPECT_LE(negHuge, 180.0);
 }
 
 TEST(MotionTest, Bearing) {
@@ -130,6 +168,62 @@ TEST(ViewportTest, TurningAwayRemovesFromViewport) {
 TEST(ViewportTest, SavingBound) {
   EXPECT_NEAR(maxViewportSaving(kAltspaceViewportWidthDeg), 0.583, 0.001);
   EXPECT_DOUBLE_EQ(maxViewportSaving(360.0), 0.0);
+}
+
+TEST(ViewportTest, AngleDiffTakesTheShortestArc) {
+  EXPECT_DOUBLE_EQ(angleDiffDeg(179.0, -179.0), -2.0);
+  EXPECT_DOUBLE_EQ(angleDiffDeg(-179.0, 179.0), 2.0);
+  EXPECT_DOUBLE_EQ(angleDiffDeg(180.0, -180.0), 0.0);
+  EXPECT_DOUBLE_EQ(angleDiffDeg(90.0, -90.0), 180.0);
+  EXPECT_DOUBLE_EQ(angleDiffDeg(10.0, 30.0), -20.0);
+}
+
+TEST(ViewportTest, WedgeIsSeamSymmetric) {
+  // An observer facing straight down the ±180° seam must see a wedge
+  // symmetric about it — historically the weak spot, since the naive
+  // |bearing - yaw| distance reads ~360° for targets just across the seam.
+  const Pose observer{0, 0, 180.0};  // facing -x
+  for (const double off : {1.0, 30.0, 74.0}) {
+    const double rad = (180.0 + off) * std::numbers::pi / 180.0;
+    const double mirror = (180.0 - off) * std::numbers::pi / 180.0;
+    EXPECT_TRUE(inViewport(observer, 10 * std::cos(rad), 10 * std::sin(rad),
+                           kAltspaceViewportWidthDeg))
+        << "+" << off;
+    EXPECT_TRUE(inViewport(observer, 10 * std::cos(mirror),
+                           10 * std::sin(mirror), kAltspaceViewportWidthDeg))
+        << "-" << off;
+  }
+  EXPECT_FALSE(inViewport(observer, 10, 0.5, kAltspaceViewportWidthDeg));
+  EXPECT_FALSE(inViewport(observer, 10, -0.5, kAltspaceViewportWidthDeg));
+}
+
+TEST(ViewportTest, PredictYawExtrapolatesThroughTheSeam) {
+  const TimePoint t0 = TimePoint::epoch() + Duration::seconds(1);
+  const TimePoint t1 = t0 + Duration::millis(100);
+  // 179° → -177° is +4° along the short arc, not -356°: the prediction
+  // continues through the seam instead of whipping the long way around.
+  EXPECT_NEAR(predictYawDeg(-177.0, 179.0, t1, t0, 100.0), -173.0, 1e-9);
+  // And the extrapolated result itself re-wraps: 178° + 4° → -178°.
+  EXPECT_NEAR(predictYawDeg(178.0, 174.0, t1, t0, 100.0), -178.0, 1e-9);
+  // Half a lead, half the swing.
+  EXPECT_NEAR(predictYawDeg(-177.0, 179.0, t1, t0, 50.0), -175.0, 1e-9);
+}
+
+TEST(ViewportTest, PredictYawFallsBackWithoutUsableHistory) {
+  const TimePoint t0 = TimePoint::epoch() + Duration::seconds(1);
+  const TimePoint t1 = t0 + Duration::millis(100);
+  // No lead, no previous report, reversed timestamps, sub-ms spacing, or a
+  // stale (>1 s) pair: all fall back to the last reported yaw.
+  EXPECT_DOUBLE_EQ(predictYawDeg(-177.0, 179.0, t1, t0, 0.0), -177.0);
+  EXPECT_DOUBLE_EQ(predictYawDeg(-177.0, 179.0, t1, TimePoint::epoch(), 100.0),
+                   -177.0);
+  EXPECT_DOUBLE_EQ(predictYawDeg(-177.0, 179.0, t0, t1, 100.0), -177.0);
+  EXPECT_DOUBLE_EQ(
+      predictYawDeg(-177.0, 179.0, t0 + Duration::micros(200), t0, 100.0),
+      -177.0);
+  EXPECT_DOUBLE_EQ(
+      predictYawDeg(-177.0, 179.0, t0 + Duration::seconds(2), t0, 100.0),
+      -177.0);
 }
 
 // -------------------------------------------------------------------- codec

@@ -76,6 +76,26 @@ TEST(DetlintR1, TimerWheelLaneIdiomsAreClean) {
   EXPECT_TRUE(fs.empty());
 }
 
+TEST(DetlintR1, InterestGridSoAIdiomsAreClean) {
+  // Representative of the interest layer's hot path: structure-of-arrays
+  // columns indexed by dense slot, packed integer cell keys, row-major cell
+  // scans, and sorted slot lists inside each cell. The visit order is a
+  // pure function of positions and slot numbers — detlint must not mistake
+  // the style for order-sensitive iteration.
+  const auto fs = scan(
+      "std::vector<double> posX_, posY_;\n"
+      "std::vector<std::uint64_t> ids_;\n"
+      "std::uint64_t key = (ux << 32) | uy;\n"
+      "for (std::int64_t qy = qy0; qy <= qy1; ++qy) {\n"
+      "  for (std::int64_t qx = qx0; qx <= qx1; ++qx) {\n"
+      "    const std::uint32_t* cell = cells.find(packCell(qx, qy));\n"
+      "  }\n"
+      "}\n"
+      "std::lower_bound(cell.slots.begin(), cell.slots.end(), slot);\n"
+      "msim::FlatMap64<std::uint32_t> cells;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // ---------------------------------------------------------- R2 wall clock
 
 TEST(DetlintR2, FlagsAmbientTimeAndEntropy) {
@@ -131,6 +151,22 @@ TEST(DetlintR3, PointerValuesAndValueKeysAreClean) {
       "std::set<std::uint64_t> ids;\n"
       "bool lt = a < b;\n");  // '<' that is a comparison, not a template
   EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR3, FlagsPointerKeyedAvatarMaps) {
+  // The anti-pattern the interest layer's SoA design exists to forbid:
+  // bucketing avatars by object address. Address order varies run to run,
+  // so any iteration (fan-out, digesting, cell membership) keyed this way
+  // breaks cross-thread digest invariance. The sanctioned shape is a dense
+  // slot index into column vectors plus integer cell keys.
+  const auto fs = scan(
+      "std::map<Avatar*, CellId> cellOf;\n"
+      "std::map<const AvatarState*, std::uint32_t> slotOf;\n"
+      "std::set<Avatar*> inView;\n");
+  ASSERT_EQ(fs.size(), 3u);
+  for (int line = 1; line <= 3; ++line) {
+    EXPECT_TRUE(hasFinding(fs, Rule::PointerKey, line)) << line;
+  }
 }
 
 // -------------------------------------------------------- R5 thread order

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
+#include "avatar/viewport.hpp"
 #include "core/experiments.hpp"
+#include "platform/relay.hpp"
 
 namespace msim {
 namespace {
@@ -86,6 +91,51 @@ TEST(PaperClaims, UplinkIndependentOfUserCount) {
   const SweepPoint p10 = runUsersSweepPoint(platforms::vrchat(), 10, 1,
                                             Duration::seconds(15));
   EXPECT_NEAR(p10.upMbps, p2.upMbps, 0.10 * p2.upMbps);
+}
+
+// §6.1: AltspaceVR's server forwards a user's updates only to receivers
+// whose ~150° viewport contains them — so with receivers facing uniformly,
+// the filtered fraction equals the wedge's angular complement, exactly the
+// maxViewportSaving(150°) bound. Receivers sit every 10° on a circle around
+// the sender, all facing +x: 15 of 36 see the sender, 21 are filtered, and
+// 21/36 == 1 - 150/360. This pins the fraction through the interest-layer
+// predicate path (the wedge is one InterestParams configuration there).
+TEST(PaperClaims, ViewportFilterSavesTheAngularComplement) {
+  DataSpec spec;
+  spec.viewportFilter = true;
+  spec.viewportWidthDeg = kAltspaceViewportWidthDeg;
+  spec.queueCoefMs = 0.0;
+  Simulator sim{63};
+  RelayRoom room{sim, spec};
+  room.joinDetached(1);
+  room.updatePose(1, Pose{0, 0, 0});
+  const int receivers = 36;
+  for (int i = 0; i < receivers; ++i) {
+    const std::uint64_t id = 100 + i;
+    const double theta = 10.0 * i * std::numbers::pi / 180.0;
+    room.joinDetached(id);
+    room.updatePose(id, Pose{10.0 * std::cos(theta), 10.0 * std::sin(theta), 0});
+  }
+  const int broadcasts = 5;
+  for (int i = 1; i <= broadcasts; ++i) {
+    Message m;
+    m.kind = avatarmsg::kPoseUpdate;
+    m.size = ByteSize::bytes(100);
+    m.senderId = 1;
+    m.sequence = i;
+    room.broadcast(1, m);
+  }
+  sim.run();
+
+  const RelayInterestStats& stats = room.interestStats();
+  EXPECT_EQ(stats.forwardedByTier[0], 15u * broadcasts);
+  EXPECT_EQ(stats.viewportFiltered, 21u * broadcasts);
+  const double filteredFraction =
+      static_cast<double>(stats.viewportFiltered) /
+      static_cast<double>(stats.viewportFiltered + stats.forwardedByTier[0]);
+  EXPECT_DOUBLE_EQ(filteredFraction, 21.0 / 36.0);
+  EXPECT_DOUBLE_EQ(filteredFraction,
+                   maxViewportSaving(kAltspaceViewportWidthDeg));
 }
 
 // §4.1: no platform delivers remote-rendered video during social

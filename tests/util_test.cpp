@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <random>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -481,6 +483,62 @@ TEST(FlatMap64Test, GrowthKeepsAllEntriesFindable) {
   }
   for (std::uint64_t k = 0; k < 5000; k += 2) {
     EXPECT_EQ(m.find(k * 0x100000001ull + 3), nullptr) << k;
+  }
+}
+
+TEST(FlatMap64Test, EraseKeepsProbeChainsThatPassAnElementAtItsIdealSlot) {
+  // Regression: backward-shift deletion must *skip* (not stop at) an element
+  // that sits at its ideal slot — elements later in the cluster may still
+  // probe through the hole. This exact key sequence comes from the interest
+  // grid's cell table (packed cell keys of avatars orbiting across cell
+  // boundaries) and left 0x7ffffffd80000004 unreachable under the old code.
+  FlatMap64<std::uint32_t> m;
+  m[0x7fffffff80000001ull] = 0;
+  m[0x800000017ffffffcull] = 1;
+  m[0x7fffffff80000005ull] = 2;
+  m.erase(0x7fffffff80000005ull);
+  m[0x7ffffffe80000005ull] = 2;
+  m.erase(0x7fffffff80000001ull);
+  m[0x7ffffffe80000001ull] = 0;
+  m.erase(0x7ffffffe80000005ull);
+  m[0x7ffffffd80000005ull] = 2;
+  m.erase(0x800000017ffffffcull);
+  m[0x800000027ffffffcull] = 1;
+  m.erase(0x7ffffffd80000005ull);
+  m[0x7ffffffd80000004ull] = 2;
+  m.erase(0x800000027ffffffcull);
+  m[0x800000027ffffffdull] = 1;
+  ASSERT_NE(m.find(0x7ffffffd80000004ull), nullptr);
+  EXPECT_EQ(*m.find(0x7ffffffd80000004ull), 2u);
+  ASSERT_NE(m.find(0x7ffffffe80000001ull), nullptr);
+  ASSERT_NE(m.find(0x800000027ffffffdull), nullptr);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(FlatMap64Test, ChurnMatchesReferenceMap) {
+  // High erase/reinsert churn over a small key universe builds long probe
+  // clusters in a small table — the regime where deletion bugs hide. Every
+  // operation is cross-checked against std::unordered_map.
+  std::mt19937_64 rng{0xC0FFEEu};
+  FlatMap64<std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng() % 48;
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0) << "op " << op;
+    } else {
+      const auto v = static_cast<std::uint32_t>(rng());
+      m[key] = v;
+      ref[key] = v;
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "op " << op;
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), v);
+  }
+  for (std::uint64_t k = 0; k < 48; ++k) {
+    EXPECT_EQ(m.contains(k), ref.count(k) > 0) << k;
   }
 }
 

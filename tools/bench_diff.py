@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_diff.py OLD.json NEW.json [--format text|md] [--threshold PCT]
-                        [--gate PCT]
+                        [--gate PCT] [--only REGEX] [--max-alloc VALUE]
 
 Matches benchmarks by name (repetition aggregates: the ``_mean`` row is
 preferred when repetitions > 1, otherwise the raw row). For each benchmark
@@ -17,9 +17,14 @@ By default the exit status is always 0: a reporting tool, not a gate. With
 --gate PCT it becomes one — exit 1 when any benchmark's time regressed
 (got slower) by more than PCT percent. Speedups never gate, and benchmarks
 present in only one file are reported but don't gate either (renames and
-new benchmarks shouldn't fail a perf check). The numbers only mean anything
-when both files came from Release builds of the same machine (see
-tools/run_simcore_bench.sh, which refuses Debug trees).
+new benchmarks shouldn't fail a perf check). --only REGEX restricts the
+diff (and any gating) to benchmarks whose name matches the pattern — used
+in CI to gate just the hot-path rows. --max-alloc VALUE gates on the
+alloc-budget counters themselves: exit 1 when any candidate row's
+allocs_per_* counter exceeds VALUE (so the relay's zero-allocation budget
+is enforced even when timings are too noisy to gate). The numbers only
+mean anything when both files came from Release builds of the same machine
+(see tools/run_simcore_bench.sh, which refuses Debug trees).
 
 Only the Python standard library is used.
 """
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -113,6 +119,7 @@ def diff_rows(old: dict[str, dict], new: dict[str, dict], threshold: float):
             entry["alloc_key"] = allocs[0]
             entry["old_alloc"] = o.get(allocs[0])
             entry["new_alloc"] = n.get(allocs[0])
+            entry["new_allocs"] = {k: n[k] for k in allocs}
         out.append(entry)
     return out
 
@@ -170,26 +177,51 @@ def main(argv: list[str]) -> int:
                     help="flag rows whose |time delta %%| exceeds this")
     ap.add_argument("--gate", type=float, default=None, metavar="PCT",
                     help="exit 1 when any time regression exceeds PCT%%")
+    ap.add_argument("--only", default=None, metavar="REGEX",
+                    help="restrict the diff (and gating) to benchmarks "
+                         "whose name matches this pattern")
+    ap.add_argument("--max-alloc", type=float, default=None, metavar="VALUE",
+                    help="exit 1 when any allocs_per_* counter in the new "
+                         "file exceeds VALUE")
     args = ap.parse_args(argv)
     entries = diff_rows(load_rows(args.old), load_rows(args.new),
                         args.threshold)
+    if args.only is not None:
+        pattern = re.compile(args.only)
+        entries = [e for e in entries if pattern.search(e["name"])]
     if not entries:
         print("no benchmarks found in either file", file=sys.stderr)
         return 0
     print(render(entries, args.format, args.threshold))
+    failed = False
+    if args.max_alloc is not None:
+        over = [(e["name"], key, value)
+                for e in entries
+                for key, value in e.get("new_allocs", {}).items()
+                if value > args.max_alloc]
+        if over:
+            failed = True
+            print(f"\nALLOC GATE FAILED: {len(over)} counter(s) above "
+                  f"{args.max_alloc:g}:", file=sys.stderr)
+            for name, key, value in over:
+                print(f"  {name}: {key} = {value:g}", file=sys.stderr)
+        else:
+            print(f"\nalloc gate ok: all allocs_per_* counters <= "
+                  f"{args.max_alloc:g}")
     if args.gate is not None:
         regressed = [e for e in entries
                      if e.get("time_pct") is not None
                      and e["time_pct"] > args.gate]
         if regressed:
+            failed = True
             print(f"\nGATE FAILED: {len(regressed)} benchmark(s) regressed "
                   f"beyond +{args.gate:g}%:", file=sys.stderr)
             for e in regressed:
                 print(f"  {e['name']}: {fmt_pct(e['time_pct'])}",
                       file=sys.stderr)
-            return 1
-        print(f"\ngate ok: no time regression beyond +{args.gate:g}%")
-    return 0
+        else:
+            print(f"\ngate ok: no time regression beyond +{args.gate:g}%")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

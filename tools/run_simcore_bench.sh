@@ -11,6 +11,13 @@
 # BM_UdpSteadyStatePacketPool reports pool_hit_rate — the steady-state heap
 # budgets of the relay and link hot paths. Skip the cluster smoke with
 # MSIM_SKIP_CLUSTER_SMOKE=1.
+#
+# Set MSIM_BENCH_BASELINE=path/to/old.json to diff the fresh results against
+# a recorded baseline via tools/bench_diff.py. With MSIM_BENCH_GATE=PCT the
+# diff becomes a gate: the script fails when a hot-path row (interest fan-out
+# / SoA broadcast, see MSIM_BENCH_ONLY) regresses beyond PCT percent or any
+# allocs_per_* counter exceeds MSIM_BENCH_MAX_ALLOC (default 1e-6 — i.e. the
+# relay hot path must stay allocation-free).
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -51,6 +58,18 @@ OUT="BENCH_simcore_perf.json"
   --benchmark_repetitions="${MSIM_BENCH_REPS:-1}" \
   "$@"
 echo "wrote $OUT"
+
+if [ -n "${MSIM_BENCH_BASELINE:-}" ]; then
+  echo ""
+  echo "== bench diff vs $MSIM_BENCH_BASELINE =="
+  DIFF_ARGS=""
+  [ -n "${MSIM_BENCH_GATE:-}" ] && DIFF_ARGS="--gate $MSIM_BENCH_GATE \
+    --max-alloc ${MSIM_BENCH_MAX_ALLOC:-1e-6}"
+  # shellcheck disable=SC2086
+  python3 "$(dirname "$0")/bench_diff.py" "$MSIM_BENCH_BASELINE" "$OUT" \
+    --only "${MSIM_BENCH_ONLY:-BM_InterestGridFanout|BM_RelayBroadcast}" \
+    $DIFF_ARGS
+fi
 
 if [ "${MSIM_SKIP_CLUSTER_SMOKE:-0}" = "1" ]; then
   exit 0
