@@ -19,6 +19,7 @@
 #include "avatar/codec.hpp"
 #include "core/experiments.hpp"
 #include "platform/relay.hpp"
+#include "session/hub.hpp"
 #include "transport/tcp.hpp"
 
 namespace {
@@ -343,6 +344,111 @@ void BM_InterestGridFanout(benchmark::State& state) {
       static_cast<double>(measured), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterestGridFanout)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SessionChurnSteady(benchmark::State& state) {
+  // Steady-state session tier: N connected sessions subscribed to one
+  // channel, a publish fanned out per iteration. Budget: zero heap
+  // allocations per delivery once the hub's queue, broker rings, and event
+  // pool are warm (every hub<->client event capture fits the 64-byte SBO).
+  const int sessions = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  // Token ttl far past the bench horizon: refresh round trips re-arm
+  // far-future wheel timers (a rare, amortized cost) and would smear the
+  // per-delivery budget this row exists to pin.
+  session::SessionHub hub{
+      sim, session::TokenAuthority{0xbead, Duration::minutes(600)}, {}};
+  std::vector<std::unique_ptr<session::Session>> owned;
+  for (int i = 0; i < sessions; ++i) {
+    owned.push_back(std::make_unique<session::Session>(
+        hub, session::SessionConfig{}, 1000 + static_cast<std::uint64_t>(i),
+        regions::usEast()));
+    owned.back()->subscribe(1);
+    owned.back()->connect();
+  }
+  sim.runFor(Duration::seconds(5));  // all accepted, subscribed, pinging
+
+  std::uint64_t payload = 0;
+  std::int64_t deliveries = 0;
+  // Warm until every growth site is at its high-water mark: 300 publishes
+  // fill the 256-deep history ring (its storage stops growing), and the 30 s
+  // of sim time they span size the timer-wheel pools across ping rounds and
+  // wheel rotations. Only then is the per-delivery path truly steady-state.
+  for (int i = 0; i < 300; ++i) {
+    hub.publish(1, ++payload, 64);
+    sim.runFor(Duration::millis(100));
+  }
+  const std::uint64_t allocsBefore = g_heapAllocs.load();
+  for (auto _ : state) {
+    hub.publish(1, ++payload, 64);
+    sim.runFor(Duration::millis(100));
+    deliveries += sessions;
+  }
+  const std::uint64_t allocs = g_heapAllocs.load() - allocsBefore;
+  state.SetItemsProcessed(deliveries);
+  state.counters["allocs_per_delivery"] = benchmark::Counter(
+      deliveries > 0
+          ? static_cast<double>(allocs) / static_cast<double>(deliveries)
+          : 0.0);
+}
+BENCHMARK(BM_SessionChurnSteady)->Arg(100)->Arg(1000);
+
+void BM_SessionConnectStorm(benchmark::State& state) {
+  // The launch-day ramp: N sessions connect at t=0 and drain through the
+  // hub's FIFO connect queue (token round trip + connectCost service each).
+  const int sessions = static_cast<int>(state.range(0));
+  std::int64_t connects = 0;
+  for (auto _ : state) {
+    Simulator sim{1};
+    session::SessionHub hub{
+        sim, session::TokenAuthority{0xbead, Duration::minutes(30)}, {}};
+    std::vector<std::unique_ptr<session::Session>> owned;
+    for (int i = 0; i < sessions; ++i) {
+      owned.push_back(std::make_unique<session::Session>(
+          hub, session::SessionConfig{}, 1000 + static_cast<std::uint64_t>(i),
+          regions::usEast()));
+      owned.back()->connect();
+    }
+    sim.runFor(Duration::seconds(5));
+    connects += hub.connectedCount();
+  }
+  state.SetItemsProcessed(connects);
+  state.counters["connects_per_second"] = benchmark::Counter(
+      static_cast<double>(connects), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionConnectStorm)->Arg(1000);
+
+void BM_SessionReconnectStorm(benchmark::State& state) {
+  // Shard death at steady state: every session discovers the loss through
+  // its ping deadline, backs off with jitter, and re-establishes. One
+  // iteration = one full storm cycle for all N sessions.
+  const int sessions = static_cast<int>(state.range(0));
+  Simulator sim{1};
+  session::SessionHub hub{
+      sim, session::TokenAuthority{0xbead, Duration::minutes(600)}, {}};
+  session::SessionConfig cfg;
+  cfg.pingInterval = Duration::seconds(1);
+  cfg.maxPingDelay = Duration::millis(500);
+  cfg.minReconnectDelay = Duration::millis(100);
+  cfg.maxReconnectDelay = Duration::millis(500);
+  std::vector<std::unique_ptr<session::Session>> owned;
+  for (int i = 0; i < sessions; ++i) {
+    owned.push_back(std::make_unique<session::Session>(
+        hub, cfg, 1000 + static_cast<std::uint64_t>(i), regions::usEast()));
+    owned.back()->connect();
+  }
+  sim.runFor(Duration::seconds(5));
+
+  std::int64_t reconnects = 0;
+  for (auto _ : state) {
+    hub.markShardDead(0);
+    sim.runFor(Duration::seconds(5));  // deadline + backoff + re-accept
+    reconnects += hub.connectedCount();
+  }
+  state.SetItemsProcessed(reconnects);
+  state.counters["reconnects_per_second"] = benchmark::Counter(
+      static_cast<double>(reconnects), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionReconnectStorm)->Arg(1000);
 
 void BM_PeriodicTasks(benchmark::State& state) {
   for (auto _ : state) {

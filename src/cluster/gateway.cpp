@@ -51,6 +51,31 @@ RelayInstance* Gateway::place(std::uint64_t userKey, const Region& userRegion) {
   return chosen;
 }
 
+RelayInstance* Gateway::placeReconnect(std::uint64_t userKey,
+                                       const Region& userRegion) {
+  const std::uint32_t* id = assignment_.find(userKey);
+  if (id == nullptr) return place(userKey, userRegion);  // never placed
+  RelayInstance* pinned = instances_[*id].get();
+  if (pinned->state() == InstanceState::Active ||
+      pinned->state() == InstanceState::Starting) {
+    ++reconnectsSticky_;
+    return pinned;
+  }
+  // The pinned shard is Draining/Stopped: drop the pin and run the policy
+  // again, exactly as a fresh placement (counts as one).
+  bumpAssigned(*id, -1);
+  assignment_.erase(userKey);
+  RelayInstance* chosen = pick(userRegion);
+  if (chosen == nullptr) return nullptr;
+  assignment_.insert(userKey, chosen->id());
+  bumpAssigned(chosen->id(), +1);
+  ++placements_;
+  ++reconnectsReplaced_;
+  if (perInstance_.size() <= chosen->id()) perInstance_.resize(chosen->id() + 1);
+  ++perInstance_[chosen->id()];
+  return chosen;
+}
+
 RelayInstance* Gateway::instanceOf(std::uint64_t userKey) const {
   const std::uint32_t* id = assignment_.find(userKey);
   return id != nullptr ? instances_[*id].get() : nullptr;

@@ -46,6 +46,12 @@ class Gateway {
   /// Returns nullptr when no shard is accepting users.
   RelayInstance* place(std::uint64_t userKey, const Region& userRegion);
 
+  /// Placement for a *reconnecting* session: reuses the sticky assignment
+  /// when the pinned shard can still serve (Starting/Active), and re-runs
+  /// the placement policy when it is Draining/Stopped — the crash-recovery
+  /// path. Counted separately so reconnect storms are observable.
+  RelayInstance* placeReconnect(std::uint64_t userKey, const Region& userRegion);
+
   /// The shard a user is currently assigned to, nullptr if unplaced.
   [[nodiscard]] RelayInstance* instanceOf(std::uint64_t userKey) const;
 
@@ -55,6 +61,12 @@ class Gateway {
   void forget(std::uint64_t userKey);
 
   [[nodiscard]] std::uint64_t placementsTotal() const { return placements_; }
+  /// Reconnects served by the sticky assignment vs re-placed because the
+  /// pinned shard was Draining/Stopped.
+  [[nodiscard]] std::uint64_t reconnectsSticky() const { return reconnectsSticky_; }
+  [[nodiscard]] std::uint64_t reconnectsReplaced() const {
+    return reconnectsReplaced_;
+  }
   /// Placement decisions routed to each shard id (index = shard id).
   [[nodiscard]] const std::vector<std::uint64_t>& placementsPerInstance() const {
     return perInstance_;
@@ -78,6 +90,8 @@ class Gateway {
   PlacementPolicy policy_;
   FlatMap64<std::uint32_t> assignment_;  // userKey -> instance id
   std::uint64_t placements_{0};
+  std::uint64_t reconnectsSticky_{0};
+  std::uint64_t reconnectsReplaced_{0};
   std::vector<std::uint64_t> perInstance_;
   std::vector<std::uint32_t> assigned_;
 };

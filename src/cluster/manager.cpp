@@ -51,6 +51,24 @@ RelayInstance* InstanceManager::joinUser(std::uint64_t userId,
   return inst;
 }
 
+RelayInstance* InstanceManager::reconnectUser(std::uint64_t userId,
+                                              const Region& region) {
+  RelayInstance* inst = gateway_->placeReconnect(userId, region);
+  if (inst == nullptr) return nullptr;
+  if (!inst->room().joinDetached(userId)) {
+    gateway_->forget(userId);
+    return nullptr;
+  }
+  return inst;
+}
+
+void InstanceManager::suspendUser(std::uint64_t userId) {
+  if (RelayInstance* inst = gateway_->instanceOf(userId)) {
+    inst->room().leave(userId);
+  }
+  // The gateway pin survives: a reconnecting session is sticky by default.
+}
+
 void InstanceManager::leaveUser(std::uint64_t userId) {
   if (RelayInstance* inst = gateway_->instanceOf(userId)) {
     inst->room().leave(userId);
@@ -89,6 +107,21 @@ std::size_t InstanceManager::drain(
   const std::size_t moved = migrateRoom(instanceId, target->id(), homeFor);
   if (source->userCount() == 0) source->stop();
   return moved;
+}
+
+std::size_t InstanceManager::crash(std::uint32_t instanceId) {
+  RelayInstance* inst = instance(instanceId);
+  if (inst == nullptr || inst->state() == InstanceState::Stopped) return 0;
+  const RelayRoomSnapshot snap = inst->room().exportSnapshot();
+  // Members drop with no handoff: in-flight batches still deliver (the room
+  // outlives the stop), but everything after the crash instant is lost
+  // until sessions reconnect and recover via channel history.
+  for (const RelayUserRecord& u : snap.users) {
+    inst->room().leave(u.id);
+  }
+  inst->stop();
+  ++crashes_;
+  return snap.users.size();
 }
 
 std::size_t InstanceManager::migrateRoom(
@@ -152,6 +185,9 @@ ClusterStats InstanceManager::stats() const {
   out.migrations = migrations_;
   out.migratedUsers = migratedUsers_;
   out.drains = drains_;
+  out.crashes = crashes_;
+  out.reconnectsSticky = gateway_->reconnectsSticky();
+  out.reconnectsReplaced = gateway_->reconnectsReplaced();
   out.totalUsers = totalUsers();
   return out;
 }

@@ -48,6 +48,9 @@ struct ClusterStats {
   std::uint64_t migrations{0};
   std::uint64_t migratedUsers{0};
   std::uint64_t drains{0};
+  std::uint64_t crashes{0};
+  std::uint64_t reconnectsSticky{0};
+  std::uint64_t reconnectsReplaced{0};
   std::size_t totalUsers{0};
 };
 
@@ -75,6 +78,13 @@ class InstanceManager {
   /// Returns the shard, or nullptr when the whole cluster is full.
   RelayInstance* joinUser(std::uint64_t userId, const Region& region);
   void leaveUser(std::uint64_t userId);
+  /// Rejoins a user whose session dropped: sticky to the previous shard
+  /// unless it is Draining/Stopped (then the policy re-places). The room
+  /// join is idempotent, so a reconnect racing a migration is harmless.
+  RelayInstance* reconnectUser(std::uint64_t userId, const Region& region);
+  /// Takes a user out of its room but KEEPS the gateway pin, so a later
+  /// reconnectUser lands on the same shard (session suspended, not gone).
+  void suspendUser(std::uint64_t userId);
   /// The room currently serving a placed user (senders route through this).
   [[nodiscard]] RelayRoom* roomOf(std::uint64_t userId);
   [[nodiscard]] RelayInstance* instanceOf(std::uint64_t userId) {
@@ -93,6 +103,11 @@ class InstanceManager {
   /// instead of becoming detached in the target room.
   std::size_t drain(std::uint32_t instanceId,
                     const std::function<RelayServer*(std::uint64_t)>& homeFor = {});
+  /// Simulated shard failure: members are dropped with NO migration and the
+  /// shard goes straight to Stopped. Gateway pins are deliberately left
+  /// stale — reconnecting sessions hit placeReconnect's re-place path, which
+  /// is what a reconnect storm exercises. Returns users dropped.
+  std::size_t crash(std::uint32_t instanceId);
   /// Moves every user of shard `from` onto shard `to`.
   std::size_t migrateRoom(std::uint32_t from, std::uint32_t to,
                           const std::function<RelayServer*(std::uint64_t)>& homeFor = {});
@@ -118,6 +133,7 @@ class InstanceManager {
   std::uint64_t migrations_{0};
   std::uint64_t migratedUsers_{0};
   std::uint64_t drains_{0};
+  std::uint64_t crashes_{0};
 };
 
 }  // namespace msim::cluster

@@ -14,6 +14,7 @@
 #include "platform/control.hpp"
 #include "platform/relay.hpp"
 #include "platform/rtp_relay.hpp"
+#include "session/session.hpp"
 
 namespace msim {
 
@@ -47,6 +48,17 @@ class PlatformDeployment {
 
   /// The shared event/room state (one social event per deployment).
   [[nodiscard]] const std::shared_ptr<RelayRoom>& room() const { return room_; }
+
+  /// Platform-wide token signer for the session tier (src/session). The
+  /// secret derives deterministically from the spec name, so tokens verify
+  /// across any hub of the same deployment and runs are seed-stable.
+  [[nodiscard]] session::TokenAuthority& tokenAuthority() {
+    return tokenAuthority_;
+  }
+
+  /// Session-tier control-channel load, summed across control sites.
+  [[nodiscard]] std::uint64_t sessionEstablishesServed() const;
+  [[nodiscard]] std::uint64_t sessionRefreshesServed() const;
 
   /// Classifier support (the capture agent maps server addresses to
   /// channels the way the paper mapped hostnames/WHOIS).
@@ -114,6 +126,7 @@ class PlatformDeployment {
   PlatformSpec spec_;
   std::vector<Region> regions_;
   std::shared_ptr<RelayRoom> room_;
+  session::TokenAuthority tokenAuthority_;
   int hostOctetCounter_{9};
 
   std::vector<ControlSite> controlSites_;

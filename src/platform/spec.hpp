@@ -104,6 +104,28 @@ struct DataSpec {
   int maxEventUsers{0};
 };
 
+/// Session lifecycle over the control channel (src/session): token auth with
+/// refresh-before-expiry, ping liveness, and reconnect backoff. These are
+/// client-policy constants, not measured per-platform facts — the defaults
+/// mirror common practice (Photon/WebSocket stacks behind the five
+/// platforms); what EMERGES is the reconnect-storm behaviour under them.
+struct SessionSpec {
+  Duration tokenTtl = Duration::minutes(10);
+  /// Refresh this far before expiry (zero = never refresh; sessions ride
+  /// their token into the expiry wave).
+  Duration tokenRefreshLead = Duration::seconds(20);
+  Duration pingInterval = Duration::seconds(25);
+  Duration maxPingDelay = Duration::seconds(10);
+  Duration minReconnectDelay = Duration::millis(200);
+  Duration maxReconnectDelay = Duration::seconds(20);
+  double backoffFactor{2.0};
+  /// Jitter each backoff delay from the sim RNG (the thundering-herd fix).
+  bool jitteredBackoff{true};
+  /// Serialized token blob in the establish/refresh responses (a signed
+  /// claim set; ~420 B is a typical compact JWT).
+  ByteSize tokenBytes = ByteSize::bytes(420);
+};
+
 /// Welcome-page / background content behaviour (§5.2).
 struct ContentSpec {
   ByteSize appStoreSize = ByteSize::zero();      // installed app size
@@ -172,6 +194,7 @@ struct PlatformSpec {
   std::string name;
   FeatureSpec features;
   ControlSpec control;
+  SessionSpec session;
   DataSpec data;
   AvatarSpec avatar;
   ContentSpec content;

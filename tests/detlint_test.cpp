@@ -352,4 +352,35 @@ TEST(DetlintLexer, RawStringsAndLineContinuationsAreHandled) {
   EXPECT_TRUE(hasFinding(fs, Rule::UnorderedIter, 4));
 }
 
+// ------------------------------------------------- session-tier idioms
+
+TEST(DetlintSessionIdioms, WallClockBackoffJitterIsFlagged) {
+  // The classic nondeterministic reconnect: jitter derived from ambient
+  // time. R2 must catch it in sim-visible code.
+  const auto fs = scan(
+      "auto seedNow = std::chrono::steady_clock::now();\n"
+      "auto jitter = seedNow.time_since_epoch().count() % maxJitterNs;\n");
+  EXPECT_TRUE(hasFinding(fs, Rule::WallClock, 1));
+}
+
+TEST(DetlintSessionIdioms, SleepBasedBackoffIsFlagged) {
+  // Blocking the thread for the backoff delay trades sim time for thread
+  // order; R5 must catch it.
+  const auto fs = scan("std::this_thread::sleep_for(backoffDelay);\n");
+  EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 1));
+}
+
+TEST(DetlintSessionIdioms, SimRngJitterAndScheduledRetryAreClean) {
+  // The shipped idiom (src/session/session.cpp): ceiling from plain Duration
+  // arithmetic, jitter from the owning simulator's RNG, retry as a scheduled
+  // event. detlint must stay quiet on it.
+  const auto fs = scan(
+      "Duration raw = cfg_.minReconnectDelay;\n"
+      "for (std::uint32_t i = 0; i <= attempt; ++i) raw = raw * factor;\n"
+      "const Duration jit =\n"
+      "    minS + (raw - minS) * sim_.rng().uniform(0.0, 1.0);\n"
+      "reconnectTimer_ = sim_.scheduleAfter(jit, [this] { beginAttempt(); });\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 }  // namespace

@@ -67,7 +67,7 @@ if [ -n "${MSIM_BENCH_BASELINE:-}" ]; then
     --max-alloc ${MSIM_BENCH_MAX_ALLOC:-1e-6}"
   # shellcheck disable=SC2086
   python3 "$(dirname "$0")/bench_diff.py" "$MSIM_BENCH_BASELINE" "$OUT" \
-    --only "${MSIM_BENCH_ONLY:-BM_InterestGridFanout|BM_RelayBroadcast}" \
+    --only "${MSIM_BENCH_ONLY:-BM_InterestGridFanout|BM_RelayBroadcast|BM_SessionChurnSteady}" \
     $DIFF_ARGS
 fi
 
@@ -86,3 +86,14 @@ MSIM_CLUSTER_INSTANCES="${MSIM_CLUSTER_INSTANCES:-8}" \
 MSIM_SEEDS="${MSIM_SEEDS:-2}" \
 MSIM_MEASURE_S="${MSIM_MEASURE_S:-3}" \
   "$CLUSTER_BIN"
+
+CHURN_BIN="$BUILD_DIR/bench/bench_session_churn"
+if [ ! -x "$CHURN_BIN" ]; then
+  echo "note: $CHURN_BIN not built; skipping session churn smoke run" >&2
+  exit 0
+fi
+echo ""
+echo "== session churn smoke run (zero-loss + herd-jitter + digest gates) =="
+MSIM_CHURN_SESSIONS="${MSIM_CHURN_SESSIONS:-400}" \
+MSIM_SEEDS="${MSIM_SEEDS:-2}" \
+  "$CHURN_BIN"
