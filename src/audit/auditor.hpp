@@ -32,6 +32,8 @@ class EventAuditor {
     chain_.mix(static_cast<std::uint64_t>(timeNs));
     chain_.mix((static_cast<std::uint64_t>(slot) << 32) | gen);
     ++events_;
+    // detlint:allow(hotpath-alloc) opt-in divergence-debugging trail — off in
+    // every gated run; steady-state auditing is digest-only and alloc-free.
     if (recordTrail_) trail_.push_back(chain_.value());
   }
 

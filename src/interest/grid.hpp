@@ -68,6 +68,8 @@ class InterestGrid {
   /// streams contiguous memory instead of gathering from room-wide columns.
   /// The caller applies the exact per-slot circle test. Returns the number
   /// of slots visited.
+  // detlint:hotpath interest-grid fan-out scan — BM_InterestGridFanout gates
+  // it at exactly 0 allocs/forward at every room size (CI --max-alloc).
   template <typename Fn>
   std::size_t forEachCandidate(double x, double y, double radius,
                                Fn&& fn) const {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "avatar/codec.hpp"
+#include "util/hotpath.hpp"
 
 namespace msim {
 
@@ -299,8 +300,11 @@ void RelayRoom::broadcast(std::uint64_t fromUser, const Message& m) {
   broadcast(fromUser, std::make_shared<const Message>(m));
 }
 
-void RelayRoom::broadcast(std::uint64_t fromUser,
-                          std::shared_ptr<const Message> msg) {
+// detlint:hotpath the room fan-out — BM_RelayBroadcastSoA gates it near zero
+// allocs/forward; batches and their entry vectors are pool-recycled, so the
+// steady path must stay off the heap.
+MSIM_HOT void RelayRoom::broadcast(std::uint64_t fromUser,
+                                   std::shared_ptr<const Message> msg) {
   const std::uint32_t* fromIt = index_.find(fromUser);
   if (fromIt == nullptr) return;
   const std::uint32_t s = *fromIt;
@@ -347,6 +351,10 @@ void RelayRoom::broadcast(std::uint64_t fromUser,
   const auto emitId = [&](std::uint64_t rid, std::uint32_t r, int tier) {
     ++tierHits[static_cast<std::size_t>(tier)];
     if (uniformHomes) {
+      // detlint:allow(hotpath-alloc) batches are pool-recycled: the entries
+      // vector keeps its capacity across acquire/release, so the push
+      // amortizes to zero after the first broadcasts at a given room size —
+      // BM_RelayBroadcastSoA pins exactly that.
       same.push_back(BatchEntry{rid, senderHome});
       return;
     }
@@ -654,6 +662,9 @@ void RelayServer::handleMessage(std::uint64_t senderId, const Message& m,
 }
 
 void RelayServer::deliverToUser(std::uint64_t userId, const Message& m) {
+  // detlint:allow(hotpath-alloc) convenience overload for single-user sends;
+  // the broadcast fan-out calls the shared_ptr overload below, which hands
+  // every receiver the same immutable message without allocating.
   deliverToUser(userId, std::make_shared<const Message>(m));
 }
 

@@ -1,5 +1,7 @@
 #include "session/hub.hpp"
 
+#include "util/hotpath.hpp"
+
 namespace msim::session {
 
 SessionHub::SessionHub(Simulator& sim, TokenAuthority authority, HubConfig cfg)
@@ -212,9 +214,11 @@ void SessionHub::closeSession(std::uint32_t id) {
 
 // ---- server operations ----------------------------------------------------
 
-void SessionHub::deliver(std::uint32_t sid, std::uint64_t epoch,
-                         std::uint64_t channel, std::uint64_t seq,
-                         std::uint64_t payload, bool replayed) {
+// detlint:hotpath per-message downlink to a connected session — the inner
+// loop of BM_SessionChurnSteady's steady-delivery gate (--max-alloc).
+MSIM_HOT void SessionHub::deliver(std::uint32_t sid, std::uint64_t epoch,
+                                  std::uint64_t channel, std::uint64_t seq,
+                                  std::uint64_t payload, bool replayed) {
   Session* s = recs_[sid].s;
   if (s == nullptr) return;
   sim_.scheduleAfter(downlinkDelay(*s),
@@ -225,8 +229,12 @@ void SessionHub::deliver(std::uint32_t sid, std::uint64_t epoch,
                      });
 }
 
-std::uint64_t SessionHub::publish(std::uint64_t channel, std::uint64_t payload,
-                                  std::uint32_t bytes) {
+// detlint:hotpath channel publish fans straight into history append +
+// per-subscriber deliver; steady-state publishes ride the ring and the
+// recycled queue, never the allocator.
+MSIM_HOT std::uint64_t SessionHub::publish(std::uint64_t channel,
+                                           std::uint64_t payload,
+                                           std::uint32_t bytes) {
   ++stats_.published;
   return broker_.publish(
       channel, payload, bytes,

@@ -129,6 +129,9 @@ void TcpSocket::send(Message message) {
   if (!hasUnackedData()) lastAckProgress_ = mux_.node().sim().now();
   if (message.size < ByteSize::bytes(1)) message.size = ByteSize::bytes(1);
   sndEnd_ += static_cast<std::uint64_t>(message.size.toBytes());
+  // detlint:allow(hotpath-alloc) in-flight stream bookkeeping (deque bounded
+  // by the send window, drained on ack): the TCP model's per-message work is
+  // the simulated machine's, outside the relay fan-out's zero-alloc gate.
   outMessages_.push_back(OutMessage{std::move(message), sndEnd_});
   trySendData();
 }
@@ -181,8 +184,12 @@ void TcpSocket::sendSegment(std::uint64_t seq, std::uint32_t len, bool syn,
     for (const auto& om : outMessages_) {
       if (om.endOffset > seq + len) break;
       if (om.endOffset > seq) {
+        // detlint:allow(hotpath-alloc) per-segment app-message descriptor —
+        // the modeled wire carries its own copy so retransmits stay faithful.
         auto copy = std::make_shared<Message>(om.msg);
         copy->streamEndOffset = om.endOffset;
+        // detlint:allow(hotpath-alloc) attaching that descriptor to the
+        // packet; the vector lives only for the segment's wire flight.
         p.messages.push_back(std::move(copy));
       }
     }

@@ -25,6 +25,8 @@ void UdpSocket::sendTo(const Endpoint& dst, ByteSize payload,
     p.proto = IpProto::Udp;
     p.overheadBytes = static_cast<std::uint16_t>(wire::kEthIpUdp + extraOverhead);
     p.payloadBytes = ByteSize::bytes(chunk);
+    // detlint:allow(hotpath-alloc) attaches the already-shared message to the
+    // final fragment; the vector lives only for the packet's wire flight.
     if (remaining == 0 && message != nullptr) p.messages.push_back(message);
     mux_.node().sendFromLocal(std::move(p));
   } while (remaining > 0);

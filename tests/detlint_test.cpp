@@ -370,6 +370,327 @@ TEST(DetlintSessionIdioms, SleepBasedBackoffIsFlagged) {
   EXPECT_TRUE(hasFinding(fs, Rule::ThreadOrder, 1));
 }
 
+// ------------------------------------------------------ R6 hotpath-alloc
+
+TEST(DetlintR6, DirectAllocationUnderHotRootIsFlagged) {
+  const auto fs = scan(
+      "MSIM_HOT void forward() {\n"
+      "  auto* n = new Node;\n"
+      "  use(n);\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::HotPathAlloc, 2));
+}
+
+TEST(DetlintR6, AllocationTwoCallsBelowRootIsFlagged) {
+  // The acceptance self-test: a `new` two calls below the annotated root
+  // must be caught, and the finding must carry the full call chain.
+  const auto fs = scan(
+      "void leaf() { auto* n = new Node; use(n); }\n"
+      "void mid() { leaf(); }\n"
+      "// detlint:hotpath per-forward budget is zero allocations\n"
+      "void root() { mid(); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::HotPathAlloc, 1));
+  EXPECT_NE(fs[0].message.find("root -> mid -> leaf"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("'root'"), std::string::npos);
+}
+
+TEST(DetlintR6, UnreachableAllocationIsClean) {
+  const auto fs = scan(
+      "void coldSetup() { auto* n = new Node; use(n); }\n"
+      "// detlint:hotpath steady path\n"
+      "void root() { step(); }\n"
+      "void step() {}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR6, NoRootMeansNoWalk) {
+  EXPECT_TRUE(
+      scan("void helper() { auto* n = new Node; use(n); }\n"
+           "void caller() { helper(); }\n")
+          .empty());
+}
+
+TEST(DetlintR6, AmortizedAppendIsClean) {
+  // reserve/clear/resize/pop_back on the receiver anywhere in the file is
+  // the pool-recycling idiom; the append amortizes to zero.
+  const auto fs = scan(
+      "void warmUp() { batch_.reserve(1024); }\n"
+      "MSIM_HOT void forward() { batch_.push_back(e); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR6, UnreservedAppendIsFlagged) {
+  const auto fs = scan("MSIM_HOT void forward() { log_.push_back(e); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::HotPathAlloc, 1));
+  EXPECT_NE(fs[0].message.find("'log_'"), std::string::npos);
+}
+
+TEST(DetlintR6, AllocVocabularyIsCovered) {
+  const auto fs = scan(
+      "MSIM_HOT void forward() {\n"
+      "  auto a = std::make_unique<Node>();\n"
+      "  auto b = std::make_shared<Node>();\n"
+      "  std::function<void()> f = cb;\n"
+      "  std::string s = name;\n"
+      "  auto t = std::to_string(42);\n"
+      "  std::vector<int> v(n);\n"
+      "}\n");
+  for (int line = 2; line <= 7; ++line) {
+    EXPECT_TRUE(hasFinding(fs, Rule::HotPathAlloc, line)) << line;
+  }
+}
+
+TEST(DetlintR6, SuppressionAtAllocationSiteWorks) {
+  const auto fs = scan(
+      "void grow() {\n"
+      "  // detlint:allow(hotpath-alloc) slab growth at a new high-water mark\n"
+      "  chunks_.push_back(std::make_unique<Slot[]>(kChunk));\n"
+      "}\n"
+      "// detlint:hotpath steady path recycles the free list\n"
+      "void root() { grow(); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR6, UnattachedHotMarkIsAPragmaFinding) {
+  const auto fs = scan(
+      "// detlint:hotpath nothing below this is a definition\n"
+      "int kTable = 3;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::Pragma, 1));
+  EXPECT_NE(fs[0].message.find("hotpath"), std::string::npos);
+}
+
+TEST(DetlintR6, BacktickedMentionIsDocumentationNotAMark) {
+  EXPECT_TRUE(
+      scan("// the `detlint:hotpath` comment form marks templates\n"
+           "int kDoc = 1;\n")
+          .empty());
+}
+
+// -------------------------------------------------------- R7 float order
+
+TEST(DetlintR7, FlagsReduceAndExecutionPolicies) {
+  const auto fs = scan(
+      "double s = std::reduce(v.begin(), v.end());\n"
+      "double t = std::transform_reduce(v.begin(), v.end(), 0.0, add, sq);\n"
+      "std::sort(std::execution::par, v.begin(), v.end());\n");
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 2));
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 3));
+}
+
+TEST(DetlintR7, FlagsFastMathAndOmpReductionPragmas) {
+  const auto fs = scan(
+      "#pragma GCC optimize(\"fast-math\")\n"
+      "#pragma STDC FP_CONTRACT ON\n"
+      "#pragma omp parallel for reduction(+ : sum)\n");
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 1));
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 2));
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 3));
+}
+
+TEST(DetlintR7, FlagsFloatAccumulationOverUnorderedContainer) {
+  const auto fs = scan(
+      "// detlint:allow-file(unordered-iter) fixture isolates R7\n"
+      "std::unordered_map<int, double> weights;\n"
+      "double sum = 0.0;\n"
+      "void total() {\n"
+      "  for (const auto& kv : weights) {\n"
+      "    sum += kv.second;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::FloatOrder, 6));
+  EXPECT_NE(fs[0].message.find("'sum'"), std::string::npos);
+}
+
+TEST(DetlintR7, AccumulationOverOrderedContainerIsClean) {
+  EXPECT_TRUE(
+      scan("std::vector<double> weights;\n"
+           "double sum = 0.0;\n"
+           "void total() {\n"
+           "  for (const auto& w : weights) sum += w;\n"
+           "}\n")
+          .empty());
+}
+
+TEST(DetlintR7, IntegerAccumulationOverUnorderedIsClean) {
+  // Integer addition commutes; only float accumulators are order-sensitive.
+  const auto fs = scan(
+      "// detlint:allow-file(unordered-iter) fixture isolates R7\n"
+      "std::unordered_map<int, long> counts;\n"
+      "long n = 0;\n"
+      "void total() {\n"
+      "  for (const auto& kv : counts) n += kv.second;\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(DetlintR7, SuppressionWorks) {
+  const auto fs = scan(
+      "double s = 0.0;\n"
+      "// detlint:allow(float-order) display-only total; never fed back\n"
+      "void show() { s = std::reduce(v.begin(), v.end()); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------- R8 iter invalidate
+
+TEST(DetlintR8, FlagsEraseInsideOwnRangeFor) {
+  const auto fs = scan(
+      "void sweep() {\n"
+      "  for (auto& s : sessions) {\n"
+      "    if (s.dead) sessions.erase(it);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::IterInvalidate, 3));
+  EXPECT_NE(fs[0].message.find("sessions.erase"), std::string::npos);
+}
+
+TEST(DetlintR8, FlagsAppendToRangedMemberThroughThis) {
+  // `this->` is stripped from both the range expression and the receiver, so
+  // the two spellings of the same member still match.
+  const auto fs = scan(
+      "void fanout() {\n"
+      "  for (const auto& q : queue_) {\n"
+      "    this->queue_.push_back(q);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::IterInvalidate, 3));
+}
+
+TEST(DetlintR8, MutatingADifferentContainerIsClean) {
+  EXPECT_TRUE(
+      scan("void collect() {\n"
+           "  for (const auto& s : sessions) {\n"
+           "    if (s.dead) dead.push_back(s.id);\n"
+           "  }\n"
+           "  for (auto id : dead) sessions.erase(id);\n"
+           "}\n")
+          .empty());
+}
+
+TEST(DetlintR8, ClassicIndexLoopIsOutOfScope) {
+  // An index loop re-reads size() each iteration; it is not standing on
+  // iterators, so R8 stays quiet (correct or not, it is a different bug).
+  EXPECT_TRUE(
+      scan("void grow() {\n"
+           "  for (std::size_t i = 0; i < v.size(); ++i) v.push_back(v[i]);\n"
+           "}\n")
+          .empty());
+}
+
+TEST(DetlintR8, SuppressionWorks) {
+  const auto fs = scan(
+      "void compact() {\n"
+      "  for (auto& s : sessions) {\n"
+      "    // detlint:allow(iter-invalidate) breaks out of the loop on the\n"
+      "    // same statement, so the dead iterator is never touched\n"
+      "    if (s.dead) { sessions.erase(s.id); break; }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --------------------------------------------- multi-file scan + parallel
+
+TEST(DetlintScanSources, FindingsMergeInInputFileOrder) {
+  const std::vector<detlint::SourceFile> files = {
+      {"b.cpp", "int r = rand();\n"},
+      {"a.cpp", "std::unordered_map<int, int> m;\nint s = rand();\n"},
+  };
+  const auto fs = detlint::scanSources(files);
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].file, "b.cpp");
+  EXPECT_EQ(fs[1].file, "a.cpp");
+  EXPECT_EQ(fs[1].line, 1);
+  EXPECT_EQ(fs[2].file, "a.cpp");
+  EXPECT_EQ(fs[2].line, 2);
+}
+
+TEST(DetlintScanSources, OutputIsIdenticalForAnyJobCount) {
+  std::vector<detlint::SourceFile> files;
+  for (int i = 0; i < 48; ++i) {
+    std::string name = "f" + std::to_string(i) + ".cpp";
+    std::string text = (i % 3 == 0) ? "int r = rand();\n"
+                       : (i % 3 == 1)
+                           ? "std::unordered_set<int> s;\nlong t = time(nullptr);\n"
+                           : "int clean = 1;\n";
+    files.push_back({std::move(name), std::move(text)});
+  }
+  detlint::Options serial;
+  serial.jobs = 1;
+  detlint::Options wide;
+  wide.jobs = 8;
+  const auto a = detlint::scanSources(files, serial);
+  const auto b = detlint::scanSources(files, wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key()) << i;
+    EXPECT_EQ(a[i].message, b[i].message) << i;
+  }
+}
+
+// ----------------------------------------------- stale baseline + SARIF
+
+TEST(DetlintBaseline, StaleKeysAreReported) {
+  const auto fs = scan("int r = rand();\n");
+  detlint::Baseline baseline;
+  const std::string path = ::testing::TempDir() + "detlint_stale_test.txt";
+  {
+    std::ofstream out{path};
+    out << "fixture.cpp:1:wall-clock\n"        // live
+        << "fixture.cpp:9:unordered-iter\n";   // stale
+  }
+  ASSERT_TRUE(baseline.load(path));
+  const auto stale = baseline.staleKeys(fs);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "fixture.cpp:9:unordered-iter");
+  std::remove(path.c_str());
+}
+
+TEST(DetlintBaseline, SerializeKeysSortsAndDeduplicates) {
+  const std::string text = detlint::Baseline::serializeKeys(
+      {"b.cpp:2:wall-clock", "a.cpp:1:unordered-iter", "b.cpp:2:wall-clock"});
+  const auto first = text.find("a.cpp:1:unordered-iter");
+  const auto second = text.find("b.cpp:2:wall-clock");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(text.find("b.cpp:2:wall-clock", second + 1), std::string::npos);
+}
+
+TEST(DetlintFormat, SarifCarriesRulesAndResults) {
+  const auto fs = scan("std::unordered_map<int, int> m;\nint r = rand();\n");
+  const std::string sarif = detlint::formatSarif(fs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"detlint\""), std::string::npos);
+  // All eight rules are declared even when only two fire.
+  for (const char* rule :
+       {"unordered-iter", "wall-clock", "pointer-key", "pragma", "thread-order",
+        "hotpath-alloc", "float-order", "iter-invalidate"}) {
+    EXPECT_NE(sarif.find(std::string{"\"id\": \""} + rule + "\""),
+              std::string::npos)
+        << rule;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"unordered-iter\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"fixture.cpp\""), std::string::npos);
+}
+
+TEST(DetlintFormat, SarifWithNoFindingsIsStillValid) {
+  const std::string sarif = detlint::formatSarif({});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(sarif.find("\"ruleId\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0"), std::string::npos);
+}
+
 TEST(DetlintSessionIdioms, SimRngJitterAndScheduledRetryAreClean) {
   // The shipped idiom (src/session/session.cpp): ceiling from plain Duration
   // arithmetic, jitter from the owning simulator's RNG, retry as a scheduled

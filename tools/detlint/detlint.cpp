@@ -1,257 +1,22 @@
 #include "detlint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <thread>
+
+#include "index.hpp"
+#include "lexer.hpp"
 
 namespace detlint {
 
 namespace {
 
-// ---------------------------------------------------------------- lexing
-
-// One significant element of the source: an identifier or a single
-// punctuation character. Comments and string/char literals never become
-// tokens (pragmas are collected separately), so rule matching cannot be
-// fooled by banned names inside strings or prose.
-struct Token {
-  std::string text;  // identifier text, or one punctuation char
-  int line{1};
-  bool ident{false};
-};
-
-struct Pragma {
-  int line{1};              // line the pragma text sits on
-  bool fileScope{false};    // allow-file
-  std::vector<Rule> rules;  // rules it suppresses
-  bool malformed{false};    // unknown rule or missing justification
-  std::string error;        // R4 message when malformed
-};
-
-struct LexResult {
-  std::vector<Token> tokens;
-  std::vector<Pragma> pragmas;
-};
-
-bool identStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool identChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// Parses every `detlint:allow...` marker inside one comment whose text
-/// starts at `startLine`. The justification must follow the rule list on the
-/// same physical line (continuation lines are free-form prose).
-void parsePragmas(std::string_view comment, int startLine,
-                  std::vector<Pragma>& out) {
-  std::size_t searchFrom = 0;
-  for (;;) {
-    const std::size_t at = comment.find("detlint:allow", searchFrom);
-    if (at == std::string_view::npos) return;
-    Pragma pragma;
-    pragma.line = startLine + static_cast<int>(std::count(
-                                  comment.begin(), comment.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
-    std::size_t i = at + std::string_view{"detlint:allow"}.size();
-    if (comment.substr(i, 5) == "-file") {
-      pragma.fileScope = true;
-      i += 5;
-    }
-    // Prose *mentioning* the pragma ("the detlint:allow marker...") is not a
-    // pragma: only the marker immediately followed by '(' is. A real typo
-    // here leaves the underlying finding unsuppressed, so it cannot hide.
-    if (i >= comment.size() || comment[i] != '(') {
-      searchFrom = i;
-      continue;
-    }
-    ++i;  // past '('
-    const std::size_t close = comment.find(')', i);
-    if (close == std::string_view::npos) {
-      pragma.malformed = true;
-      pragma.error = "malformed detlint:allow pragma: missing ')'";
-      out.push_back(std::move(pragma));
-      searchFrom = i;
-      continue;
-    }
-    // Comma-separated rule names. Grammar metacharacters mean this is
-    // documentation *about* the pragma (`detlint:allow(<rule>[,...])`), not a
-    // pragma — skip it without a finding.
-    std::string_view list = comment.substr(i, close - i);
-    if (list.find_first_of("<>[]|.") != std::string_view::npos) {
-      searchFrom = close;
-      continue;
-    }
-    while (!list.empty()) {
-      const std::size_t comma = list.find(',');
-      const std::string_view name = trim(list.substr(0, comma));
-      Rule rule;
-      if (!ruleFromName(name, rule)) {
-        pragma.malformed = true;
-        pragma.error = "unknown rule '" + std::string{name} +
-                       "' in detlint:allow (expected unordered-iter, "
-                       "wall-clock, pointer-key, thread-order)";
-        break;
-      }
-      pragma.rules.push_back(rule);
-      if (comma == std::string_view::npos) break;
-      list.remove_prefix(comma + 1);
-    }
-    // Justification: the rest of the pragma's physical line.
-    if (!pragma.malformed) {
-      std::size_t lineEnd = comment.find('\n', close);
-      if (lineEnd == std::string_view::npos) lineEnd = comment.size();
-      const std::string_view justification =
-          trim(comment.substr(close + 1, lineEnd - close - 1));
-      if (justification.empty()) {
-        pragma.malformed = true;
-        pragma.error =
-            "detlint:allow pragma without a justification — say *why* the "
-            "suppressed construct cannot affect simulation order";
-      }
-    }
-    out.push_back(std::move(pragma));
-    searchFrom = close;
-  }
-}
-
-/// Strips comments, string literals (including raw strings), char literals,
-/// and preprocessor directives; returns identifier/punctuation tokens plus
-/// the pragmas found in comments.
-LexResult lex(std::string_view src) {
-  LexResult out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto peek = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && peek(1) == '/') {
-      std::size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      parsePragmas(src.substr(i, end - i), line, out.pragmas);
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && peek(1) == '*') {
-      std::size_t end = src.find("*/", i + 2);
-      if (end == std::string_view::npos) end = n;
-      const std::string_view body = src.substr(i, end - i);
-      parsePragmas(body, line, out.pragmas);
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-      i = end == n ? n : end + 2;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t d = i + 2;
-      while (d < n && src[d] != '(') ++d;
-      const std::string delim = std::string{src.substr(i + 2, d - (i + 2))};
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = src.find(closer, d);
-      if (end == std::string_view::npos) end = n;
-      const std::string_view body = src.substr(i, end - i);
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-      i = end == n ? n : end + closer.size();
-      continue;
-    }
-    // String literal.
-    if (c == '"') {
-      ++i;
-      while (i < n && src[i] != '"') {
-        if (src[i] == '\\') ++i;
-        if (i < n && src[i] == '\n') ++line;
-        ++i;
-      }
-      ++i;  // closing quote
-      continue;
-    }
-    // Char literal (distinguished from digit separators by context: we only
-    // get here outside identifiers/numbers).
-    if (c == '\'') {
-      ++i;
-      while (i < n && src[i] != '\'') {
-        if (src[i] == '\\') ++i;
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line (minus continuations), so
-    // `#include <ctime>` is not a finding — usage is what gets flagged.
-    if (c == '#') {
-      while (i < n) {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    // Identifier.
-    if (identStart(c)) {
-      std::size_t end = i + 1;
-      while (end < n && identChar(src[end])) ++end;
-      Token t;
-      t.text = std::string{src.substr(i, end - i)};
-      t.line = line;
-      t.ident = true;
-      out.tokens.push_back(std::move(t));
-      i = end;
-      continue;
-    }
-    // Number: skip (digit separators, exponents, hex).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t end = i + 1;
-      while (end < n && (identChar(src[end]) || src[end] == '.' ||
-                         ((src[end] == '+' || src[end] == '-') &&
-                          (src[end - 1] == 'e' || src[end - 1] == 'E' ||
-                           src[end - 1] == 'p' || src[end - 1] == 'P')))) {
-        ++end;
-      }
-      i = end;
-      continue;
-    }
-    // Punctuation: kept one char at a time.
-    if (!std::isspace(static_cast<unsigned char>(c))) {
-      Token t;
-      t.text = std::string(1, c);
-      t.line = line;
-      out.tokens.push_back(std::move(t));
-    }
-    ++i;
-  }
-  return out;
-}
-
 // ------------------------------------------------------------- rule engine
-
-bool isPunct(const Token& t, char c) {
-  return !t.ident && t.text.size() == 1 && t.text[0] == c;
-}
 
 /// Wall-clock *type* names: flagged anywhere they appear in code.
 bool wallClockType(std::string_view id) {
@@ -272,6 +37,11 @@ bool orderedAssocName(std::string_view id) {
   return id == "map" || id == "multimap" || id == "set" || id == "multiset";
 }
 
+bool unorderedAssocName(std::string_view id) {
+  return id == "unordered_map" || id == "unordered_set" ||
+         id == "unordered_multimap" || id == "unordered_multiset";
+}
+
 bool pointerishKeyIdent(std::string_view id) {
   return id == "uintptr_t" || id == "intptr_t" || id == "shared_ptr" ||
          id == "unique_ptr";
@@ -290,11 +60,118 @@ bool hostSleepName(std::string_view id) {
   return id == "sleep_for" || id == "sleep_until";
 }
 
+/// Container members that invalidate iterators/references of the container
+/// they are called on (R8 vocabulary).
+bool invalidatingMember(std::string_view id) {
+  return id == "erase" || id == "insert" || id == "push_back" ||
+         id == "emplace_back" || id == "emplace" || id == "pop_back" ||
+         id == "push_front" || id == "pop_front" || id == "clear" ||
+         id == "resize";
+}
+
+/// One range-for statement: `for (decl : expr) body`.
+struct RangeFor {
+  int line{1};
+  std::size_t exprBegin{0}, exprEnd{0};  // token range of the range expr
+  std::size_t bodyBegin{0}, bodyEnd{0};  // token range of the body
+};
+
+/// Collects every range-for in the token stream (classic `for (;;)` loops
+/// are excluded by their first depth-1 ';').
+std::vector<RangeFor> collectRangeFors(const std::vector<Token>& toks) {
+  std::vector<RangeFor> out;
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!toks[i].ident || toks[i].text != "for" || !isPunct(toks[i + 1], '('))
+      continue;
+    const std::size_t pastParen = skipBalancedTokens(toks, i + 1, '(', ')');
+    if (pastParen == 0) continue;
+    const std::size_t closeParen = pastParen - 1;
+    // Find the range ':' at paren depth 1 (skipping `::`).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < closeParen; ++j) {
+      const Token& t = toks[j];
+      if (t.ident) continue;
+      const char c = t.text[0];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 1) continue;
+      if (c == ';') break;  // classic for
+      if (c == ':' && !(j > 0 && isPunct(toks[j - 1], ':')) &&
+          !(j + 1 < n && isPunct(toks[j + 1], ':'))) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    RangeFor rf;
+    rf.line = toks[i].line;
+    rf.exprBegin = colon + 1;
+    rf.exprEnd = closeParen;
+    if (pastParen < n && isPunct(toks[pastParen], '{')) {
+      rf.bodyBegin = pastParen;
+      rf.bodyEnd = skipBalancedTokens(toks, pastParen, '{', '}');
+    } else {
+      // Single-statement body: up to the ';' at depth 0.
+      rf.bodyBegin = pastParen;
+      int d = 0;
+      for (std::size_t j = pastParen; j < n; ++j) {
+        const Token& t = toks[j];
+        if (t.ident) continue;
+        const char c = t.text[0];
+        if (c == '(' || c == '[' || c == '{') ++d;
+        if (c == ')' || c == ']' || c == '}') --d;
+        if (c == ';' && d == 0) {
+          rf.bodyEnd = j + 1;
+          break;
+        }
+      }
+    }
+    if (rf.bodyEnd != 0) out.push_back(rf);
+  }
+  return out;
+}
+
+/// Normalizes a range expression to an `a.b` receiver chain, or empty when
+/// the expression is not a plain member chain.
+std::string rangeExprChain(const std::vector<Token>& toks, std::size_t begin,
+                           std::size_t end) {
+  std::string chain;
+  bool expectIdent = true;
+  for (std::size_t j = begin; j < end; ++j) {
+    const Token& t = toks[j];
+    if (t.ident) {
+      if (!expectIdent) return {};
+      if (!chain.empty()) chain += '.';
+      chain += t.text;
+      expectIdent = false;
+      continue;
+    }
+    const char c = t.text[0];
+    if (c == '.' && !expectIdent) {
+      expectIdent = true;
+      continue;
+    }
+    if (c == '-' && j + 1 < end && isPunct(toks[j + 1], '>') && !expectIdent) {
+      expectIdent = true;
+      ++j;
+      continue;
+    }
+    return {};
+  }
+  if (expectIdent) return {};
+  if (chain.rfind("this.", 0) == 0) chain.erase(0, 5);
+  return chain;
+}
+
 struct Analyzer {
-  const std::vector<Token>& toks;
+  const LexResult& lexed;
   std::string_view filename;
   const Options& opts;
   std::vector<Finding> findings;
+
+  [[nodiscard]] const std::vector<Token>& toks() const { return lexed.tokens; }
 
   void report(int line, Rule rule, std::string message) {
     Finding f;
@@ -312,28 +189,12 @@ struct Analyzer {
     return false;
   }
 
-  /// True when toks[i] is reached through `.` or `->` (member access).
-  [[nodiscard]] bool memberAccess(std::size_t i) const {
-    if (i == 0) return false;
-    if (isPunct(toks[i - 1], '.')) return true;
-    return i >= 2 && isPunct(toks[i - 1], '>') && isPunct(toks[i - 2], '-');
-  }
-
-  /// Identifier qualifying toks[i] via `::`, or empty when unqualified.
-  [[nodiscard]] std::string_view qualifier(std::size_t i) const {
-    if (i >= 3 && isPunct(toks[i - 1], ':') && isPunct(toks[i - 2], ':') &&
-        toks[i - 3].ident) {
-      return toks[i - 3].text;
-    }
-    return {};
-  }
-
   /// Extracts the first template argument after toks[open] == '<' as a token
   /// range [open+1, end); returns false when the template list never closes.
   bool firstTemplateArg(std::size_t open, std::size_t& argEnd) const {
     int depth = 1;
-    for (std::size_t j = open + 1; j < toks.size(); ++j) {
-      const Token& t = toks[j];
+    for (std::size_t j = open + 1; j < toks().size(); ++j) {
+      const Token& t = toks()[j];
       if (t.ident) continue;
       const char c = t.text[0];
       if (c == '<' || c == '(') ++depth;
@@ -348,14 +209,20 @@ struct Analyzer {
   }
 
   void run() {
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      const Token& t = toks[i];
+    runTokenRules();
+    runFloatOrder();
+    runIterInvalidate();
+  }
+
+  void runTokenRules() {
+    const std::vector<Token>& ts = toks();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const Token& t = ts[i];
       if (!t.ident) continue;
       const std::string_view id = t.text;
 
       // R1: unordered containers in sim-visible code.
-      if (id == "unordered_map" || id == "unordered_set" ||
-          id == "unordered_multimap" || id == "unordered_multiset") {
+      if (unorderedAssocName(id)) {
         report(t.line, Rule::UnorderedIter,
                "std::" + t.text +
                    " in sim-visible code: hash-order iteration is "
@@ -368,7 +235,7 @@ struct Analyzer {
 
       // R2: ambient time/entropy.
       if (!wallClockAllowlisted()) {
-        if (wallClockType(id) && !memberAccess(i)) {
+        if (wallClockType(id) && !memberAccessAt(ts, i)) {
           report(t.line, Rule::WallClock,
                  "'" + t.text +
                      "' samples ambient time/entropy: simulations must use "
@@ -377,9 +244,9 @@ struct Analyzer {
                      "outside the simulation)");
           continue;
         }
-        if (wallClockCall(id) && i + 1 < toks.size() &&
-            isPunct(toks[i + 1], '(') && !memberAccess(i)) {
-          const std::string_view qual = qualifier(i);
+        if (wallClockCall(id) && i + 1 < ts.size() &&
+            isPunct(ts[i + 1], '(') && !memberAccessAt(ts, i)) {
+          const std::string_view qual = qualifierAt(ts, i);
           if (qual.empty() || qual == "std") {
             report(t.line, Rule::WallClock,
                    "call to '" + t.text +
@@ -391,7 +258,9 @@ struct Analyzer {
       }
 
       // R3: pointer-keyed ordered containers (std::map<T*, ...> etc.).
-      if (orderedAssocName(id) && qualifier(i) == "std") checkPointerKey(i);
+      if (orderedAssocName(id) && qualifierAt(ts, i) == "std") {
+        checkPointerKey(i);
+      }
 
       // R5: host-thread constructs whose observable effects depend on the
       // OS scheduler. One finding per construct: `this_thread` covers its
@@ -404,7 +273,7 @@ struct Analyzer {
                "(detlint:allow(thread-order) for harness-only code)");
         continue;
       }
-      if (hostSleepName(id) && qualifier(i) != "this_thread") {
+      if (hostSleepName(id) && qualifierAt(ts, i) != "this_thread") {
         report(t.line, Rule::ThreadOrder,
                "'" + t.text +
                    "' sleeps the host thread: wall-time waits are invisible "
@@ -412,7 +281,7 @@ struct Analyzer {
                    "schedule an event instead");
         continue;
       }
-      if (mutexTypeName(id) && qualifier(i) == "std") {
+      if (mutexTypeName(id) && qualifierAt(ts, i) == "std") {
         report(t.line, Rule::ThreadOrder,
                "std::" + t.text +
                    " in sim-visible code: lock-acquisition order is an OS "
@@ -422,7 +291,7 @@ struct Analyzer {
                    "detlint:allow(thread-order)");
         continue;
       }
-      if (id == "get_id" && qualifier(i) != "this_thread") {
+      if (id == "get_id" && qualifierAt(ts, i) != "this_thread") {
         report(t.line, Rule::ThreadOrder,
                "thread-id inspection in sim-visible code: branching on "
                "which worker runs is nondeterministic by construction "
@@ -430,20 +299,142 @@ struct Analyzer {
                "state)");
         continue;
       }
+
+      // R7 (token forms): order-sensitive reductions delegated to the
+      // library/compiler, where visit order is unspecified.
+      if ((id == "reduce" || id == "transform_reduce") &&
+          qualifierAt(ts, i) == "std" && i + 1 < ts.size() &&
+          isPunct(ts[i + 1], '(')) {
+        report(t.line, Rule::FloatOrder,
+               "std::" + t.text +
+                   " reduces in unspecified order: float addition does not "
+                   "commute, so the sum is run-dependent; use std::accumulate "
+                   "or an explicit loop over a deterministic order");
+        continue;
+      }
+      if (id == "execution" && qualifierAt(ts, i) == "std") {
+        report(t.line, Rule::FloatOrder,
+               "std::execution policy: parallel/vectorized algorithms "
+               "combine elements in scheduler-dependent order — any float "
+               "reduction under it is nondeterministic "
+               "(detlint:allow(float-order) for integer-only work)");
+        continue;
+      }
+    }
+
+    // R7 (directive forms): pragmas that relax float semantics or introduce
+    // reduction reassociation.
+    for (const PpDirective& d : lexed.directives) {
+      const std::string& text = d.text;
+      const bool fastMath = text.find("fast-math") != std::string::npos ||
+                            text.find("fast_math") != std::string::npos;
+      const bool fpContract = text.find("fp_contract") != std::string::npos ||
+                              text.find("FP_CONTRACT") != std::string::npos ||
+                              text.find("float_control") != std::string::npos;
+      const bool ompReduction = text.find("omp") != std::string::npos &&
+                                text.find("reduction") != std::string::npos;
+      if (fastMath || fpContract || ompReduction) {
+        report(d.line, Rule::FloatOrder,
+               "preprocessor directive relaxes float evaluation order (" +
+                   std::string{fastMath ? "fast-math"
+                               : fpContract ? "fp-contract/float_control"
+                                            : "OpenMP reduction"} +
+                   "): results become build- or schedule-dependent, which "
+                   "breaks bit-identical digests");
+      }
+    }
+  }
+
+  /// R7: float accumulation inside a range-for over an unordered container —
+  /// the sum depends on hash order even when each term is deterministic.
+  void runFloatOrder() {
+    const std::vector<Token>& ts = toks();
+    // Names declared as unordered containers, and float/double variables.
+    std::vector<std::string_view> unorderedVars;
+    std::vector<std::string_view> floatVars;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const Token& t = ts[i];
+      if (!t.ident) continue;
+      if (unorderedAssocName(t.text) && i + 1 < ts.size() &&
+          isPunct(ts[i + 1], '<')) {
+        const std::size_t past = skipAngleTokens(ts, i + 1);
+        if (past != 0 && past < ts.size() && ts[past].ident) {
+          unorderedVars.push_back(ts[past].text);
+        }
+      }
+      if ((t.text == "double" || t.text == "float") && i + 1 < ts.size() &&
+          ts[i + 1].ident) {
+        floatVars.push_back(ts[i + 1].text);
+      }
+    }
+    if (unorderedVars.empty() || floatVars.empty()) return;
+    auto contains = [](const std::vector<std::string_view>& set,
+                      std::string_view name) {
+      return std::find(set.begin(), set.end(), name) != set.end();
+    };
+    for (const RangeFor& rf : collectRangeFors(ts)) {
+      bool overUnordered = false;
+      for (std::size_t j = rf.exprBegin; j < rf.exprEnd; ++j) {
+        if (ts[j].ident && contains(unorderedVars, ts[j].text)) {
+          overUnordered = true;
+          break;
+        }
+      }
+      if (!overUnordered) continue;
+      for (std::size_t j = rf.bodyBegin; j + 2 < rf.bodyEnd; ++j) {
+        if (!ts[j].ident || !contains(floatVars, ts[j].text)) continue;
+        const bool compound =
+            (isPunct(ts[j + 1], '+') || isPunct(ts[j + 1], '-') ||
+             isPunct(ts[j + 1], '*')) &&
+            isPunct(ts[j + 2], '=');
+        if (compound) {
+          report(ts[j].line, Rule::FloatOrder,
+                 "float accumulation into '" + ts[j].text +
+                     "' inside a range-for over an unordered container: the "
+                     "reduction order is hash-order, so the sum differs run "
+                     "to run; iterate a deterministic order "
+                     "(FlatMap64::forEachOrdered) or sort first");
+          break;
+        }
+      }
+    }
+  }
+
+  /// R8: mutation of a container inside its own range-for.
+  void runIterInvalidate() {
+    const std::vector<Token>& ts = toks();
+    for (const RangeFor& rf : collectRangeFors(ts)) {
+      const std::string chain = rangeExprChain(ts, rf.exprBegin, rf.exprEnd);
+      if (chain.empty()) continue;
+      for (std::size_t j = rf.bodyBegin; j + 1 < rf.bodyEnd; ++j) {
+        const Token& t = ts[j];
+        if (!t.ident || !invalidatingMember(t.text) ||
+            !isPunct(ts[j + 1], '(') || !memberAccessAt(ts, j)) {
+          continue;
+        }
+        if (receiverChainAt(ts, j) != chain) continue;
+        report(t.line, Rule::IterInvalidate,
+               "'" + chain + "." + t.text +
+                   "' inside a range-for over '" + chain +
+                   "': mutating a container invalidates the iterators the "
+                   "loop is standing on (the FlatMap64::erase class of bug); "
+                   "collect first and mutate after the loop");
+      }
     }
   }
 
   /// Inspects the key type of an associative container at toks[i].
   void checkPointerKey(std::size_t i) {
-    if (i + 1 >= toks.size() || !isPunct(toks[i + 1], '<')) return;
+    const std::vector<Token>& ts = toks();
+    if (i + 1 >= ts.size() || !isPunct(ts[i + 1], '<')) return;
     std::size_t argEnd = 0;
     if (!firstTemplateArg(i + 1, argEnd)) return;
     for (std::size_t j = i + 2; j < argEnd; ++j) {
-      const Token& a = toks[j];
+      const Token& a = ts[j];
       const bool pointer = !a.ident && a.text[0] == '*';
       if (pointer || (a.ident && pointerishKeyIdent(a.text))) {
-        report(toks[i].line, Rule::PointerKey,
-               "container keyed on a pointer (" + toks[i].text +
+        report(ts[i].line, Rule::PointerKey,
+               "container keyed on a pointer (" + ts[i].text +
                    "<...>): address order varies run to run, so any "
                    "iteration or ordering over it is nondeterministic; key "
                    "on a stable id (serial, user id) instead");
@@ -453,13 +444,76 @@ struct Analyzer {
   }
 };
 
-/// Line numbers that carry at least one code token, sorted ascending.
-std::vector<int> codeLines(const std::vector<Token>& toks) {
-  std::vector<int> lines;
-  for (const Token& t : toks) {
-    if (lines.empty() || lines.back() != t.line) lines.push_back(t.line);
+// ------------------------------------------------------- scan pipeline
+
+/// Everything one file contributes: its local findings (already filtered by
+/// its pragmas) plus the pragma/code-line context the cross-file pass needs
+/// to filter graph findings identically, and its slice of the index.
+struct FileScan {
+  std::string file;
+  std::vector<Finding> findings;
+  std::vector<Pragma> pragmas;
+  std::vector<int> codeLines;
+  FileIndex index;
+};
+
+/// True when a pragma in `fs` suppresses a finding of `rule` at `line`
+/// (line pragma covers its own line and the next code line; file pragma
+/// covers the whole file).
+bool suppressedBy(const FileScan& fs, int line, Rule rule) {
+  auto nextCodeLine = [&fs](int after) {
+    const auto it =
+        std::lower_bound(fs.codeLines.begin(), fs.codeLines.end(), after);
+    return it != fs.codeLines.end() ? *it : -1;
+  };
+  for (const Pragma& p : fs.pragmas) {
+    if (p.malformed) continue;
+    if (std::find(p.rules.begin(), p.rules.end(), rule) == p.rules.end()) {
+      continue;
+    }
+    if (p.fileScope) return true;
+    if (line == p.line || line == nextCodeLine(p.line + 1)) return true;
   }
-  return lines;
+  return false;
+}
+
+FileScan scanOne(const SourceFile& sf, const Options& opts) {
+  FileScan fs;
+  fs.file = sf.name;
+  const LexResult lexed = lex(sf.text);
+  fs.pragmas = lexed.pragmas;
+  fs.codeLines = codeLines(lexed.tokens);
+  fs.index = buildFileIndex(lexed, sf.name);
+
+  Analyzer analyzer{lexed, sf.name, opts, {}};
+  analyzer.run();
+
+  // Pragma hygiene first: malformed pragmas and dangling hotpath marks are
+  // findings of their own and never suppress anything.
+  for (const Pragma& p : lexed.pragmas) {
+    if (!p.malformed) continue;
+    Finding f;
+    f.file = sf.name;
+    f.line = p.line;
+    f.rule = Rule::Pragma;
+    f.message = p.error;
+    fs.findings.push_back(std::move(f));
+  }
+  for (const int line : fs.index.unattachedHotMarks) {
+    Finding f;
+    f.file = sf.name;
+    f.line = line;
+    f.rule = Rule::Pragma;
+    f.message =
+        "detlint:hotpath mark precedes no function definition — it marks "
+        "nothing; place it directly above the definition it roots";
+    fs.findings.push_back(std::move(f));
+  }
+
+  for (Finding& f : analyzer.findings) {
+    if (!suppressedBy(fs, f.line, f.rule)) fs.findings.push_back(std::move(f));
+  }
+  return fs;
 }
 
 }  // namespace
@@ -471,6 +525,9 @@ const char* ruleName(Rule r) {
     case Rule::PointerKey: return "pointer-key";
     case Rule::Pragma: return "pragma";
     case Rule::ThreadOrder: return "thread-order";
+    case Rule::HotPathAlloc: return "hotpath-alloc";
+    case Rule::FloatOrder: return "float-order";
+    case Rule::IterInvalidate: return "iter-invalidate";
   }
   return "?";
 }
@@ -480,6 +537,9 @@ bool ruleFromName(std::string_view name, Rule& out) {
   if (name == "wall-clock") { out = Rule::WallClock; return true; }
   if (name == "pointer-key") { out = Rule::PointerKey; return true; }
   if (name == "thread-order") { out = Rule::ThreadOrder; return true; }
+  if (name == "hotpath-alloc") { out = Rule::HotPathAlloc; return true; }
+  if (name == "float-order") { out = Rule::FloatOrder; return true; }
+  if (name == "iter-invalidate") { out = Rule::IterInvalidate; return true; }
   return false;
 }
 
@@ -487,52 +547,74 @@ std::string Finding::key() const {
   return file + ":" + std::to_string(line) + ":" + ruleName(rule);
 }
 
+std::vector<Finding> scanSources(const std::vector<SourceFile>& files,
+                                 const Options& opts) {
+  // Phase 1 — per-file lexing, indexing, and local rules. Embarrassingly
+  // parallel: workers pull file indices from an atomic cursor into
+  // pre-sized slots, so no locks are needed (this tool scans its own source
+  // under R5) and the merge below is byte-identical for any job count.
+  std::vector<FileScan> scans(files.size());
+  unsigned jobs = opts.jobs == 0 ? std::thread::hardware_concurrency() : opts.jobs;
+  if (jobs == 0) jobs = 1;
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, std::max<std::size_t>(files.size(), 1)));
+  std::atomic<std::size_t> cursor{0};
+  auto work = [&] {
+    for (std::size_t k; (k = cursor.fetch_add(1)) < files.size();) {
+      scans[k] = scanOne(files[k], opts);
+    }
+  };
+  if (jobs <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs - 1);
+    for (unsigned w = 1; w < jobs; ++w) pool.emplace_back(work);
+    work();
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Phase 2 — cross-file R6 walk over the combined index (single-threaded:
+  // the graph is global and the walk is cheap next to lexing).
+  std::vector<FileIndex> indexes;
+  indexes.reserve(scans.size());
+  for (FileScan& fs : scans) indexes.push_back(std::move(fs.index));
+  std::set<std::string> seenKeys;
+  for (const HotPathAlloc& hit : walkHotPaths(indexes)) {
+    FileScan& owner = scans[hit.fileIdx];
+    if (suppressedBy(owner, hit.line, Rule::HotPathAlloc)) continue;
+    Finding f;
+    f.file = owner.file;
+    f.line = hit.line;
+    f.rule = Rule::HotPathAlloc;
+    f.message = hit.what + " on the allocation-free hot path rooted at '" +
+                hit.root + "' (" + hit.rootFile + ":" +
+                std::to_string(hit.rootLine) + "), via " + hit.path +
+                "; make it warm-up/amortized and justify with "
+                "detlint:allow(hotpath-alloc), or move it off the steady "
+                "path";
+    if (!seenKeys.insert(f.key()).second) continue;
+    owner.findings.push_back(std::move(f));
+  }
+
+  std::vector<Finding> out;
+  for (FileScan& fs : scans) {
+    std::stable_sort(
+        fs.findings.begin(), fs.findings.end(),
+        [](const Finding& a, const Finding& b) { return a.line < b.line; });
+    out.insert(out.end(), std::make_move_iterator(fs.findings.begin()),
+               std::make_move_iterator(fs.findings.end()));
+  }
+  return out;
+}
+
 std::vector<Finding> scanSource(std::string_view source,
                                 std::string_view filename,
                                 const Options& opts) {
-  const LexResult lexed = lex(source);
-  Analyzer analyzer{lexed.tokens, filename, opts, {}};
-  analyzer.run();
-
-  // Pragma hygiene first: malformed pragmas are findings of their own and
-  // never suppress anything.
-  std::vector<Finding> out;
-  for (const Pragma& p : lexed.pragmas) {
-    if (!p.malformed) continue;
-    Finding f;
-    f.file = std::string{filename};
-    f.line = p.line;
-    f.rule = Rule::Pragma;
-    f.message = p.error;
-    out.push_back(std::move(f));
-  }
-
-  // Suppression: a line pragma covers its own line and the next line that
-  // contains code (so a comment block directly above a declaration works);
-  // a file pragma covers the whole file for its rules.
-  const std::vector<int> lines = codeLines(lexed.tokens);
-  auto nextCodeLine = [&lines](int after) {
-    const auto it = std::lower_bound(lines.begin(), lines.end(), after);
-    return it != lines.end() ? *it : -1;
-  };
-  auto suppressed = [&](const Finding& f) {
-    for (const Pragma& p : lexed.pragmas) {
-      if (p.malformed) continue;
-      if (std::find(p.rules.begin(), p.rules.end(), f.rule) == p.rules.end()) {
-        continue;
-      }
-      if (p.fileScope) return true;
-      if (f.line == p.line || f.line == nextCodeLine(p.line + 1)) return true;
-    }
-    return false;
-  };
-  for (Finding& f : analyzer.findings) {
-    if (!suppressed(f)) out.push_back(std::move(f));
-  }
-  std::stable_sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return a.line < b.line;
-  });
-  return out;
+  Options serial = opts;
+  serial.jobs = 1;
+  return scanSources(
+      {SourceFile{std::string{filename}, std::string{source}}}, serial);
 }
 
 std::vector<Finding> scanTree(const std::string& root,
@@ -562,22 +644,21 @@ std::vector<Finding> scanTree(const std::string& root,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in{file, std::ios::binary};
     if (!in) continue;
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string text = buf.str();
     std::error_code ec;
     fs::path rel = fs::relative(file, rootPath, ec);
-    const std::string name = (ec ? file : rel).generic_string();
-    auto fileFindings = scanSource(text, name, opts);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(fileFindings.begin()),
-                    std::make_move_iterator(fileFindings.end()));
+    SourceFile sf;
+    sf.name = (ec ? file : rel).generic_string();
+    sf.text = buf.str();
+    sources.push_back(std::move(sf));
   }
-  return findings;
+  return scanSources(sources, opts);
 }
 
 bool Baseline::load(const std::string& path) {
@@ -585,7 +666,7 @@ bool Baseline::load(const std::string& path) {
   if (!in) return false;
   std::string line;
   while (std::getline(in, line)) {
-    const std::string_view trimmed = trim(line);
+    const std::string_view trimmed = trimView(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     keys_.emplace_back(trimmed);
   }
@@ -598,15 +679,36 @@ bool Baseline::covers(const Finding& f) const {
   return std::binary_search(keys_.begin(), keys_.end(), f.key());
 }
 
+std::vector<std::string> Baseline::staleKeys(
+    const std::vector<Finding>& findings) const {
+  std::vector<std::string> live;
+  live.reserve(findings.size());
+  for (const Finding& f : findings) live.push_back(f.key());
+  std::sort(live.begin(), live.end());
+  std::vector<std::string> stale;
+  for (const std::string& k : keys_) {
+    if (!std::binary_search(live.begin(), live.end(), k)) stale.push_back(k);
+  }
+  return stale;
+}
+
+namespace {
+const char* kBaselineHeader =
+    "# detlint baseline — tolerated pre-existing findings, burn down over "
+    "time.\n# Format: <file>:<line>:<rule>\n";
+}  // namespace
+
 std::string Baseline::serialize(const std::vector<Finding>& findings) {
   std::vector<std::string> keys;
   keys.reserve(findings.size());
   for (const Finding& f : findings) keys.push_back(f.key());
+  return serializeKeys(std::move(keys));
+}
+
+std::string Baseline::serializeKeys(std::vector<std::string> keys) {
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  std::string out =
-      "# detlint baseline — tolerated pre-existing findings, burn down over "
-      "time.\n# Format: <file>:<line>:<rule>\n";
+  std::string out = kBaselineHeader;
   for (const std::string& k : keys) {
     out += k;
     out += '\n';
@@ -653,7 +755,61 @@ std::string jsonEscape(std::string_view s) {
   }
   return out;
 }
+
+struct RuleMeta {
+  Rule rule;
+  const char* shortDesc;
+};
+
+constexpr RuleMeta kRuleMeta[] = {
+    {Rule::UnorderedIter,
+     "Unordered container in sim-visible code (hash-order iteration)"},
+    {Rule::WallClock, "Ambient wall clock or process entropy"},
+    {Rule::PointerKey, "Container keyed on a pointer (address order)"},
+    {Rule::Pragma, "detlint annotation hygiene"},
+    {Rule::ThreadOrder, "OS-scheduler-dependent construct"},
+    {Rule::HotPathAlloc,
+     "Allocation-prone construct reachable from a detlint:hotpath root"},
+    {Rule::FloatOrder, "Order-nondeterministic float reduction"},
+    {Rule::IterInvalidate, "Container mutated inside its own range-for"},
+};
 }  // namespace
+
+std::string formatSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\"name\": \"detlint\",\n";
+  out += "      \"informationUri\": \"tools/detlint/detlint.hpp\",\n";
+  out += "      \"rules\": [\n";
+  for (std::size_t i = 0; i < std::size(kRuleMeta); ++i) {
+    out += std::string{"        {\"id\": \""} + ruleName(kRuleMeta[i].rule) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           jsonEscape(kRuleMeta[i].shortDesc) + "\"}}";
+    out += i + 1 < std::size(kRuleMeta) ? ",\n" : "\n";
+  }
+  out += "      ]\n    }},\n";
+  out += "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::size_t ruleIndex = 0;
+    for (std::size_t r = 0; r < std::size(kRuleMeta); ++r) {
+      if (kRuleMeta[r].rule == f.rule) ruleIndex = r;
+    }
+    out += "      {\"ruleId\": \"" + std::string{ruleName(f.rule)} +
+           "\", \"ruleIndex\": " + std::to_string(ruleIndex) +
+           ", \"level\": \"error\",\n";
+    out += "       \"message\": {\"text\": \"" + jsonEscape(f.message) + "\"},\n";
+    out += "       \"locations\": [{\"physicalLocation\": {";
+    out += "\"artifactLocation\": {\"uri\": \"" + jsonEscape(f.file) + "\"}, ";
+    out += "\"region\": {\"startLine\": " + std::to_string(f.line) + "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "    ]\n  }]\n}\n";
+  return out;
+}
 
 std::string formatJson(const std::vector<Finding>& findings) {
   std::string out = "[";

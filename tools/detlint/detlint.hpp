@@ -6,8 +6,9 @@
 // for any MSIM_THREADS. That property dies quietly: somebody range-iterates
 // an unordered_map whose order feeds an event, or samples a wall clock, and
 // no unit test notices until digests diverge weeks later. detlint walks the
-// sim-visible tree (src/, tools/, bench/) with a lightweight lexer — no
-// libclang — and enforces the project rules:
+// sim-visible tree (src/, tools/, bench/, tests/, examples/) with a
+// lightweight lexer and a cross-file function index — no libclang — and
+// enforces the project rules:
 //
 //   R1 unordered-iter  std::unordered_map / std::unordered_set in
 //                      sim-visible code. Hash order is pointer- and
@@ -24,8 +25,10 @@
 //                      std::set<T*>, smart-pointer keys, uintptr_t keys):
 //                      address order changes run to run, so any iteration or
 //                      ordering over them is nondeterministic.
-//   R4 pragma          detlint:allow pragma hygiene — unknown rule names and
-//                      missing justifications are themselves findings.
+//   R4 pragma          detlint:allow pragma hygiene — unknown rule names,
+//                      missing justifications, and `detlint:hotpath` marks
+//                      that precede no function definition are themselves
+//                      findings.
 //   R5 thread-order    host-thread constructs whose effects depend on the OS
 //                      scheduler, in sim-visible paths: std::this_thread
 //                      (sleep_for / sleep_until / yield / get_id),
@@ -37,14 +40,45 @@
 //                      worker ran what (see pdes/pdes.hpp), and simulated
 //                      delays must come from Simulator scheduling, never
 //                      host sleeps.
+//   R6 hotpath-alloc   a `detlint:hotpath` comment mark (or the MSIM_HOT
+//                      macro from util/hotpath.hpp) on a function definition
+//                      declares its steady-state path allocation-free — the
+//                      static twin of the bench_diff --max-alloc gates.
+//                      detlint walks the call graph from every marked root
+//                      (cross-file, through the include graph) and flags
+//                      allocation-prone constructs in every reachable body:
+//                      `new`, make_unique/make_shared, std::function and
+//                      std::string/ostringstream/to_string construction,
+//                      appends to containers with no reserve/clear/resize/
+//                      pop_back in their file, and sized std::vector
+//                      construction. Warm-up and amortized sites carry
+//                      detlint:allow(hotpath-alloc) with a justification.
+//   R7 float-order     order-nondeterministic float reductions:
+//                      std::reduce / std::transform_reduce, std::execution
+//                      policies, fast-math / fp-contract / OpenMP-reduction
+//                      pragmas, and float accumulation inside range-fors
+//                      over unordered containers. Float addition does not
+//                      commute, so any of these makes the sum depend on
+//                      visit order.
+//   R8 iter-invalidate mutation of a container inside its own range-for
+//                      (erase/insert/push_back/... on the ranged container)
+//                      — the class of bug that kept FlatMap64::erase's
+//                      backward-shift latent for six PRs. Collect first,
+//                      mutate after the loop.
 //
 // Suppression grammar (inside any comment):
 //   // detlint:allow(<rule>[,<rule>...]) <justification>       line + next
 //   // detlint:allow-file(<rule>[,<rule>...]) <justification>  whole file
 //
+// Hot-path annotation (R6 roots; see DESIGN.md §14 for the contract):
+//   // `detlint:hotpath` <why this path must not allocate>  — marks the next
+//   definition; MSIM_HOT on the definition line does the same. (Backticked
+//   mentions like the one above are documentation, not marks.)
+//
 // A baseline file (one "<file>:<line>:<rule>" per line, '#' comments) lets
 // pre-existing findings be burned down incrementally; the CI gate keeps the
-// tree at zero findings outside the baseline.
+// tree at zero findings outside the baseline and fails on stale baseline
+// entries that no longer match anything.
 
 #include <cstdint>
 #include <string>
@@ -54,11 +88,14 @@
 namespace detlint {
 
 enum class Rule : std::uint8_t {
-  UnorderedIter,  // R1
-  WallClock,      // R2
-  PointerKey,     // R3
-  Pragma,         // R4
-  ThreadOrder,    // R5
+  UnorderedIter,   // R1
+  WallClock,       // R2
+  PointerKey,      // R3
+  Pragma,          // R4
+  ThreadOrder,     // R5
+  HotPathAlloc,    // R6
+  FloatOrder,      // R7
+  IterInvalidate,  // R8
 };
 
 [[nodiscard]] const char* ruleName(Rule r);
@@ -79,13 +116,31 @@ struct Options {
   /// Path substrings exempt from R2 (the sanctioned wall-clock shim and any
   /// explicitly blessed tooling).
   std::vector<std::string> wallClockAllowlist;
+  /// Worker threads for the per-file scan phase; 0 = hardware concurrency.
+  /// Output is deterministic for any value (files merge in sorted order).
+  unsigned jobs{1};
+};
+
+/// One in-memory source file for scanSources (the multi-file API the
+/// cross-file rules need; also how fixtures test R6 without touching disk).
+struct SourceFile {
+  std::string name;
+  std::string text;
 };
 
 /// Scans one translation unit's source text. `filename` is used for
-/// reporting and for the R2 allowlist match.
+/// reporting and for the R2 allowlist match. Cross-file rules see only this
+/// file (a single file can still carry hot roots and local call chains).
 [[nodiscard]] std::vector<Finding> scanSource(std::string_view source,
                                               std::string_view filename,
                                               const Options& opts = {});
+
+/// Scans a set of sources as one tree: per-file rules on each file, then the
+/// cross-file R6 walk over the combined index. Findings come back grouped in
+/// input-file order, sorted by line within a file, independent of
+/// `opts.jobs`.
+[[nodiscard]] std::vector<Finding> scanSources(
+    const std::vector<SourceFile>& files, const Options& opts = {});
 
 /// Scans every C++ source file (.hpp/.h/.hxx/.cpp/.cc/.cxx) under `paths`
 /// (files or directories, resolved against `root`), reporting file names
@@ -104,8 +159,17 @@ class Baseline {
   [[nodiscard]] bool covers(const Finding& f) const;
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
 
+  /// Keys that match none of `findings` — stale entries that should be
+  /// pruned (the gate fails on them so baselines only ever shrink).
+  [[nodiscard]] std::vector<std::string> staleKeys(
+      const std::vector<Finding>& findings) const;
+
   /// Serializes findings in baseline format (sorted, deduplicated).
   [[nodiscard]] static std::string serialize(const std::vector<Finding>& findings);
+  /// Serializes raw keys in baseline format (sorted, deduplicated).
+  [[nodiscard]] static std::string serializeKeys(std::vector<std::string> keys);
+
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
 
  private:
   std::vector<std::string> keys_;  // sorted for binary search
@@ -120,6 +184,9 @@ class Baseline {
 
 /// Machine-readable report: a JSON array of {file, line, rule, message}.
 [[nodiscard]] std::string formatJson(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 report (what CI uploads so findings annotate PRs inline).
+[[nodiscard]] std::string formatSarif(const std::vector<Finding>& findings);
 
 /// Gate exit code: 0 clean, 1 findings present.
 [[nodiscard]] inline int exitCodeFor(const std::vector<Finding>& findings) {

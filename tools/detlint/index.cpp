@@ -1,0 +1,507 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace detlint {
+
+namespace {
+
+/// Keywords that look like `name(...)` but are never function definitions
+/// or resolvable calls.
+bool keywordName(std::string_view id) {
+  return id == "if" || id == "for" || id == "while" || id == "switch" ||
+         id == "return" || id == "sizeof" || id == "catch" || id == "new" ||
+         id == "delete" || id == "throw" || id == "alignof" ||
+         id == "alignas" || id == "decltype" || id == "typeid" ||
+         id == "static_assert" || id == "noexcept" || id == "co_await" ||
+         id == "co_return" || id == "co_yield" || id == "defined" ||
+         id == "operator" || id == "requires" || id == "assert";
+}
+
+bool specifierName(std::string_view id) {
+  return id == "const" || id == "noexcept" || id == "override" ||
+         id == "final" || id == "mutable" || id == "try";
+}
+
+struct DefParse {
+  std::size_t bodyBegin{0};
+  std::size_t bodyEnd{0};
+};
+
+/// Tries to parse a function definition whose name is toks[i] (already known
+/// to be a non-keyword identifier followed by '('). Handles specifier runs
+/// (`const noexcept override`), trailing return types, and constructor
+/// initializer lists; declarations (`;`) and `= default/delete` fail.
+bool tryParseDef(const std::vector<Token>& toks, std::size_t i, DefParse& out) {
+  const std::size_t n = toks.size();
+  std::size_t j = skipBalancedTokens(toks, i + 1, '(', ')');
+  if (j == 0) return false;
+  while (j < n && toks[j].ident && specifierName(toks[j].text)) {
+    if (toks[j].text == "noexcept" && j + 1 < n && isPunct(toks[j + 1], '(')) {
+      j = skipBalancedTokens(toks, j + 1, '(', ')');
+      if (j == 0) return false;
+    } else {
+      ++j;
+    }
+  }
+  if (j + 1 < n && isPunct(toks[j], '-') && isPunct(toks[j + 1], '>')) {
+    j += 2;  // trailing return type: skip type tokens until the body/stop
+    int angle = 0;
+    while (j < n) {
+      const Token& t = toks[j];
+      if (t.ident) {
+        ++j;
+        continue;
+      }
+      const char c = t.text[0];
+      if (c == '<') ++angle;
+      if (c == '>' && angle > 0) {
+        --angle;
+        ++j;
+        continue;
+      }
+      if (c == '<' || c == ':' || c == '*' || c == '&' || c == ',' ||
+          c == '[' || c == ']') {
+        ++j;
+        continue;
+      }
+      if (c == '(') {
+        j = skipBalancedTokens(toks, j, '(', ')');
+        if (j == 0) return false;
+        continue;
+      }
+      break;
+    }
+  }
+  if (j >= n) return false;
+  if (isPunct(toks[j], '{')) {
+    out.bodyBegin = j;
+  } else if (isPunct(toks[j], ':') && !(j + 1 < n && isPunct(toks[j + 1], ':'))) {
+    // Constructor initializer list: `name(args) [, ...] { body }` entries.
+    ++j;
+    for (;;) {
+      bool sawName = false;
+      while (j < n) {
+        if (toks[j].ident) {
+          sawName = true;
+          ++j;
+          continue;
+        }
+        if (isPunct(toks[j], ':')) {
+          ++j;
+          continue;
+        }
+        if (isPunct(toks[j], '<')) {
+          const std::size_t past = skipAngleTokens(toks, j);
+          if (past == 0) return false;
+          j = past;
+          continue;
+        }
+        break;
+      }
+      if (!sawName || j >= n) return false;
+      if (isPunct(toks[j], '(')) {
+        j = skipBalancedTokens(toks, j, '(', ')');
+      } else if (isPunct(toks[j], '{')) {
+        j = skipBalancedTokens(toks, j, '{', '}');
+      } else {
+        return false;
+      }
+      if (j == 0 || j >= n) return false;
+      while (j < n && isPunct(toks[j], '.')) ++j;  // pack expansion `...`
+      if (j < n && isPunct(toks[j], ',')) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= n || !isPunct(toks[j], '{')) return false;
+    out.bodyBegin = j;
+  } else {
+    return false;
+  }
+  out.bodyEnd = skipBalancedTokens(toks, out.bodyBegin, '{', '}');
+  return out.bodyEnd != 0;
+}
+
+/// True when a MSIM_HOT marker token sits in the declaration run leading up
+/// to the definition name at toks[i] (scanning back to the previous
+/// statement/brace boundary).
+bool hasHotMacro(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t floor = i > 48 ? i - 48 : 0;
+  for (std::size_t p = i; p-- > floor;) {
+    const Token& t = toks[p];
+    if (!t.ident) {
+      const char c = t.text[0];
+      if (c == ';' || c == '{' || c == '}') return false;
+      continue;
+    }
+    if (t.text == "MSIM_HOT") return true;
+  }
+  return false;
+}
+
+/// Extracts call sites and allocation-prone constructs from a body range.
+/// Appends to `def`; `pendingAppends` collects push_back/emplace receivers
+/// whose amortization check needs the whole file.
+struct PendingAppend {
+  std::size_t defIdx;
+  int line;
+  std::string chain;      // full receiver chain, for the message
+  std::string container;  // last chain component, matched against reserves
+};
+
+void extractBody(const std::vector<Token>& toks, std::size_t defIdx,
+                 FunctionDef& def, std::vector<PendingAppend>& pendingAppends) {
+  for (std::size_t k = def.bodyBegin + 1; k + 1 < def.bodyEnd; ++k) {
+    const Token& t = toks[k];
+    if (!t.ident) continue;
+    const std::string_view id = t.text;
+
+    if (id == "new") {
+      // `new (place) T` / `::new (buf) T` are placement news — they do not
+      // allocate; `new T(...)` / `new T[n]` do.
+      if (k + 1 < def.bodyEnd && toks[k + 1].ident) {
+        def.allocs.push_back(
+            {t.line, "operator new (`new " + toks[k + 1].text + "`)"});
+      }
+      continue;
+    }
+    if ((id == "make_unique" || id == "make_shared") && k + 1 < def.bodyEnd &&
+        (isPunct(toks[k + 1], '<') || isPunct(toks[k + 1], '('))) {
+      def.allocs.push_back({t.line, "std::" + std::string{id}});
+      continue;
+    }
+    if (id == "function" && qualifierAt(toks, k) == "std") {
+      def.allocs.push_back(
+          {t.line, "std::function (type-erased callable; construction may "
+                   "heap-allocate)"});
+      continue;
+    }
+    if ((id == "string" && qualifierAt(toks, k) == "std") ||
+        id == "ostringstream" || id == "stringstream") {
+      def.allocs.push_back({t.line, "std::" + std::string{id} + " construction"});
+      continue;
+    }
+    if (id == "to_string" && k + 1 < def.bodyEnd && isPunct(toks[k + 1], '(')) {
+      def.allocs.push_back({t.line, "std::to_string (returns a std::string)"});
+      continue;
+    }
+    if (id == "vector" && k + 1 < def.bodyEnd && isPunct(toks[k + 1], '<')) {
+      const std::size_t past = skipAngleTokens(toks, k + 1);
+      if (past != 0 && past < def.bodyEnd) {
+        std::size_t v = past;
+        if (v < def.bodyEnd && toks[v].ident) ++v;  // named local vs temporary
+        const bool sizedParen = v + 1 < def.bodyEnd && isPunct(toks[v], '(') &&
+                                !isPunct(toks[v + 1], ')');
+        const bool sizedBrace = v + 1 < def.bodyEnd && isPunct(toks[v], '{') &&
+                                !isPunct(toks[v + 1], '}');
+        if (sizedParen || sizedBrace) {
+          def.allocs.push_back({t.line, "sized std::vector construction"});
+        }
+      }
+      continue;
+    }
+
+    const bool call = k + 1 < def.bodyEnd && isPunct(toks[k + 1], '(');
+    if (!call || keywordName(id)) continue;
+    CallSite cs;
+    cs.name = t.text;
+    cs.line = t.line;
+    if (memberAccessAt(toks, k)) {
+      cs.member = true;
+      cs.receiver = receiverChainAt(toks, k);
+      if (id == "push_back" || id == "emplace_back" || id == "emplace") {
+        PendingAppend pa;
+        pa.defIdx = defIdx;
+        pa.line = t.line;
+        pa.chain = cs.receiver;
+        const std::size_t dot = pa.chain.rfind('.');
+        pa.container =
+            dot == std::string::npos ? pa.chain : pa.chain.substr(dot + 1);
+        if (!pa.container.empty()) pendingAppends.push_back(std::move(pa));
+      }
+    } else {
+      cs.qualifier = std::string{qualifierAt(toks, k)};
+    }
+    def.calls.push_back(std::move(cs));
+  }
+}
+
+std::string stemOf(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return std::string{dot == std::string_view::npos ? base : base.substr(0, dot)};
+}
+
+bool isCppFile(std::string_view path) {
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view ext = path.substr(dot);
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+}  // namespace
+
+FileIndex buildFileIndex(const LexResult& lexed, std::string_view filename) {
+  FileIndex out;
+  out.file = std::string{filename};
+  out.includes = lexed.includes;
+  const std::vector<Token>& toks = lexed.tokens;
+  const std::size_t n = toks.size();
+
+  std::vector<PendingAppend> pendingAppends;
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = toks[i];
+    const bool defCandidate =
+        t.ident && !keywordName(t.text) && i + 1 < n &&
+        isPunct(toks[i + 1], '(') && !memberAccessAt(toks, i) &&
+        !(i >= 1 && toks[i - 1].ident && toks[i - 1].text == "new");
+    if (defCandidate) {
+      DefParse parse;
+      if (tryParseDef(toks, i, parse)) {
+        FunctionDef def;
+        def.name = t.text;
+        def.qualifier = std::string{qualifierAt(toks, i)};
+        def.line = t.line;
+        def.hot = hasHotMacro(toks, i);
+        def.bodyBegin = parse.bodyBegin;
+        def.bodyEnd = parse.bodyEnd;
+        extractBody(toks, out.defs.size(), def, pendingAppends);
+        out.defs.push_back(std::move(def));
+        i = parse.bodyEnd;
+        continue;
+      }
+    }
+    ++i;
+  }
+
+  // Amortization check for appends: a container that is also reserved,
+  // cleared, resized, or popped somewhere in this file is pool/ring-style
+  // recycled capacity — its appends reach steady state without allocating.
+  std::vector<std::string> amortized;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const Token& t = toks[k];
+    if (!t.ident || !isPunct(toks[k + 1], '(')) continue;
+    if (t.text != "reserve" && t.text != "clear" && t.text != "resize" &&
+        t.text != "pop_back") {
+      continue;
+    }
+    if (!memberAccessAt(toks, k)) continue;
+    const std::string chain = receiverChainAt(toks, k);
+    const std::size_t dot = chain.rfind('.');
+    const std::string container =
+        dot == std::string::npos ? chain : chain.substr(dot + 1);
+    if (!container.empty()) amortized.push_back(container);
+  }
+  std::sort(amortized.begin(), amortized.end());
+  for (const PendingAppend& pa : pendingAppends) {
+    if (std::binary_search(amortized.begin(), amortized.end(), pa.container)) {
+      continue;
+    }
+    out.defs[pa.defIdx].allocs.push_back(
+        {pa.line, "append to '" + pa.chain + "' (no reserve/clear/resize/"
+                  "pop_back for it in this file — growth allocates)"});
+  }
+
+  // Attach hot marks to the next definition at or below the mark.
+  for (const HotMark& mark : lexed.hotMarks) {
+    FunctionDef* target = nullptr;
+    for (FunctionDef& def : out.defs) {
+      if (def.line >= mark.line) {
+        target = &def;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      out.unattachedHotMarks.push_back(mark.line);
+      continue;
+    }
+    target->hot = true;
+    if (target->hotWhy.empty()) target->hotWhy = mark.why;
+  }
+  return out;
+}
+
+FileIndex indexSource(std::string_view source, std::string_view filename) {
+  return buildFileIndex(lex(source), filename);
+}
+
+std::vector<HotPathAlloc> walkHotPaths(const std::vector<FileIndex>& files) {
+  const std::size_t nf = files.size();
+
+  // Resolve includes by path suffix: `#include "session/hub.hpp"` matches
+  // the scanned file `src/session/hub.hpp`.
+  auto resolveInclude = [&](const std::string& target,
+                            std::vector<std::size_t>& out) {
+    for (std::size_t g = 0; g < nf; ++g) {
+      const std::string& name = files[g].file;
+      if (name == target ||
+          (name.size() > target.size() + 1 &&
+           name.compare(name.size() - target.size(), target.size(), target) == 0 &&
+           name[name.size() - target.size() - 1] == '/')) {
+        out.push_back(g);
+      }
+    }
+  };
+  std::vector<std::vector<std::size_t>> edges(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (const Include& inc : files[f].includes) {
+      if (!inc.angled) resolveInclude(inc.target, edges[f]);
+    }
+  }
+
+  // Transitive include closure (matrix form; the scanned tree is a few
+  // hundred files, so nf^2 bits is nothing).
+  std::vector<std::vector<char>> closure(nf, std::vector<char>(nf, 0));
+  for (std::size_t f = 0; f < nf; ++f) {
+    std::deque<std::size_t> queue{f};
+    closure[f][f] = 1;
+    while (!queue.empty()) {
+      const std::size_t cur = queue.front();
+      queue.pop_front();
+      for (const std::size_t next : edges[cur]) {
+        if (closure[f][next] == 0) {
+          closure[f][next] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  // A .cpp is "paired" with the first directly-included header sharing its
+  // stem (grid.cpp ↔ interest/grid.hpp). Callers that can see the header can
+  // reach the out-of-line definitions in the paired .cpp.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> paired(nf, kNone);
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (!isCppFile(files[f].file)) continue;
+    const std::string stem = stemOf(files[f].file);
+    for (const std::size_t g : edges[f]) {
+      if (g != f && stemOf(files[g].file) == stem) {
+        paired[f] = g;
+        break;
+      }
+    }
+  }
+
+  auto eligible = [&](std::size_t caller, std::size_t defFile) {
+    if (caller == defFile || closure[caller][defFile] != 0) return true;
+    const std::size_t header = paired[defFile];
+    return header != kNone &&
+           (header == caller || closure[caller][header] != 0);
+  };
+
+  struct DefRef {
+    std::size_t f;
+    std::size_t d;
+  };
+  // Name → definitions, in deterministic (file, def) order.
+  std::vector<std::pair<std::string_view, DefRef>> byName;
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t d = 0; d < files[f].defs.size(); ++d) {
+      byName.emplace_back(files[f].defs[d].name, DefRef{f, d});
+    }
+  }
+  std::stable_sort(byName.begin(), byName.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  struct Visit {
+    bool seen{false};
+    std::size_t parentF{0}, parentD{0};
+    bool isRoot{false};
+    std::size_t rootF{0}, rootD{0};
+  };
+  std::vector<std::vector<Visit>> visits(nf);
+  for (std::size_t f = 0; f < nf; ++f) visits[f].resize(files[f].defs.size());
+
+  std::vector<DefRef> order;  // visitation order, for deterministic output
+  std::deque<DefRef> queue;
+  auto visit = [&](DefRef ref, const Visit& v) {
+    Visit& slot = visits[ref.f][ref.d];
+    if (slot.seen) return;
+    slot = v;
+    slot.seen = true;
+    order.push_back(ref);
+    queue.push_back(ref);
+  };
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t d = 0; d < files[f].defs.size(); ++d) {
+      if (!files[f].defs[d].hot) continue;
+      Visit v;
+      v.isRoot = true;
+      v.rootF = f;
+      v.rootD = d;
+      visit(DefRef{f, d}, v);
+      while (!queue.empty()) {
+        const DefRef cur = queue.front();
+        queue.pop_front();
+        const FunctionDef& def = files[cur.f].defs[cur.d];
+        for (const CallSite& cs : def.calls) {
+          const auto lo = std::lower_bound(
+              byName.begin(), byName.end(), cs.name,
+              [](const auto& entry, const std::string& name) {
+                return entry.first < name;
+              });
+          for (auto it = lo; it != byName.end() && it->first == cs.name; ++it) {
+            const DefRef target = it->second;
+            const FunctionDef& callee = files[target.f].defs[target.d];
+            if (!eligible(cur.f, target.f)) continue;
+            if (!cs.qualifier.empty() && cs.qualifier != "std" &&
+                !callee.qualifier.empty() && callee.qualifier != cs.qualifier) {
+              continue;
+            }
+            Visit v2;
+            v2.parentF = cur.f;
+            v2.parentD = cur.d;
+            v2.rootF = visits[cur.f][cur.d].rootF;
+            v2.rootD = visits[cur.f][cur.d].rootD;
+            visit(target, v2);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<HotPathAlloc> out;
+  for (const DefRef ref : order) {
+    const FunctionDef& def = files[ref.f].defs[ref.d];
+    if (def.allocs.empty()) continue;
+    const Visit& v = visits[ref.f][ref.d];
+    const FunctionDef& root = files[v.rootF].defs[v.rootD];
+    // Reconstruct the call chain root -> ... -> def (capped for sanity).
+    std::vector<std::string> chain;
+    DefRef cur = ref;
+    for (int hop = 0; hop < 12; ++hop) {
+      chain.push_back(files[cur.f].defs[cur.d].display());
+      const Visit& cv = visits[cur.f][cur.d];
+      if (cv.isRoot) break;
+      cur = DefRef{cv.parentF, cv.parentD};
+    }
+    std::reverse(chain.begin(), chain.end());
+    std::string path;
+    for (const std::string& link : chain) {
+      if (!path.empty()) path += " -> ";
+      path += link;
+    }
+    for (const AllocSite& site : def.allocs) {
+      HotPathAlloc hit;
+      hit.fileIdx = ref.f;
+      hit.line = site.line;
+      hit.what = site.what;
+      hit.root = root.display();
+      hit.rootFile = files[v.rootF].file;
+      hit.rootLine = root.line;
+      hit.path = path;
+      out.push_back(std::move(hit));
+    }
+  }
+  return out;
+}
+
+}  // namespace detlint

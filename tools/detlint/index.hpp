@@ -1,0 +1,96 @@
+#pragma once
+
+// detlint cross-file index.
+//
+// A lexer-grade model of the scanned tree: per file, the function
+// *definitions* (name, qualifier, body token range), the call sites inside
+// each body (free, qualified, and method calls), and the allocation-prone
+// constructs R6 cares about. Across files, an include graph resolves which
+// definitions a call site can legally reach: a call resolves to a definition
+// when it lives in the same file, in the caller's transitive include
+// closure, or in a .cpp paired (by stem) with a header in that closure —
+// so a test helper named like a simulator method never pollutes a src walk.
+//
+// Everything here is deliberately over-approximate in the safe direction
+// for R6 (more edges → more reachable allocations → findings that a human
+// then fixes or justifies), and name-resolution is filtered just enough
+// that the over-approximation stays reviewable.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace detlint {
+
+/// One call site inside a function body. Method calls record the callee
+/// name (`push_back` in `v.push_back(x)`) plus the receiver chain.
+struct CallSite {
+  std::string name;
+  std::string qualifier;  // `Simulator` in `Simulator::now()`, else empty
+  std::string receiver;   // normalized `a.b` chain for member calls
+  bool member{false};
+  int line{1};
+};
+
+/// One allocation-prone construct inside a function body (R6 vocabulary).
+struct AllocSite {
+  int line{1};
+  std::string what;  // human description, embedded in the finding message
+};
+
+/// One function definition (a body was seen; declarations are not indexed).
+struct FunctionDef {
+  std::string name;
+  std::string qualifier;  // `InterestGrid` in `InterestGrid::insert(...)`
+  int line{1};            // line of the name token
+  bool hot{false};        // R6 root (detlint:hotpath mark or MSIM_HOT)
+  std::string hotWhy;
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+  std::size_t bodyBegin{0};  // token index of the body '{'
+  std::size_t bodyEnd{0};    // token index one past the matching '}'
+
+  [[nodiscard]] std::string display() const {
+    return qualifier.empty() ? name : qualifier + "::" + name;
+  }
+};
+
+/// The index of one file.
+struct FileIndex {
+  std::string file;
+  std::vector<FunctionDef> defs;
+  std::vector<Include> includes;
+  /// Lines of `detlint:hotpath` marks that precede no function definition —
+  /// annotation typos must not silently mark nothing (reported via R4).
+  std::vector<int> unattachedHotMarks;
+};
+
+/// Builds the index for one already-lexed file.
+[[nodiscard]] FileIndex buildFileIndex(const LexResult& lexed,
+                                       std::string_view filename);
+
+/// Convenience for tests: lex + index one source text.
+[[nodiscard]] FileIndex indexSource(std::string_view source,
+                                    std::string_view filename);
+
+/// One R6 result: an allocation-prone construct reachable from a hot root.
+struct HotPathAlloc {
+  std::size_t fileIdx{0};  // file owning the construct (index into input)
+  int line{1};
+  std::string what;
+  std::string root;       // display name of the `detlint:hotpath` root
+  std::string rootFile;
+  int rootLine{1};
+  std::string path;       // "root -> a -> b" call chain, for the message
+};
+
+/// Walks the call graph from every hot-marked definition and returns the
+/// allocation-prone constructs reachable within the scanned tree, in
+/// deterministic order (roots in file/definition order, BFS per root).
+[[nodiscard]] std::vector<HotPathAlloc> walkHotPaths(
+    const std::vector<FileIndex>& files);
+
+}  // namespace detlint

@@ -1,0 +1,367 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace detlint {
+
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses every `detlint:allow...` marker inside one comment whose text
+/// starts at `startLine`. The justification must follow the rule list on the
+/// same physical line (continuation lines are free-form prose).
+void parsePragmas(std::string_view comment, int startLine,
+                  std::vector<Pragma>& out) {
+  std::size_t searchFrom = 0;
+  for (;;) {
+    const std::size_t at = comment.find("detlint:allow", searchFrom);
+    if (at == std::string_view::npos) return;
+    Pragma pragma;
+    pragma.line = startLine + static_cast<int>(std::count(
+                                  comment.begin(), comment.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
+    std::size_t i = at + std::string_view{"detlint:allow"}.size();
+    if (comment.substr(i, 5) == "-file") {
+      pragma.fileScope = true;
+      i += 5;
+    }
+    // Prose *mentioning* the pragma ("the detlint:allow marker...") is not a
+    // pragma: only the marker immediately followed by '(' is. A real typo
+    // here leaves the underlying finding unsuppressed, so it cannot hide.
+    if (i >= comment.size() || comment[i] != '(') {
+      searchFrom = i;
+      continue;
+    }
+    ++i;  // past '('
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string_view::npos) {
+      pragma.malformed = true;
+      pragma.error = "malformed detlint:allow pragma: missing ')'";
+      out.push_back(std::move(pragma));
+      searchFrom = i;
+      continue;
+    }
+    // Comma-separated rule names. Grammar metacharacters mean this is
+    // documentation *about* the pragma (`detlint:allow(<rule>[,...])`), not a
+    // pragma — skip it without a finding.
+    std::string_view list = comment.substr(i, close - i);
+    if (list.find_first_of("<>[]|.") != std::string_view::npos) {
+      searchFrom = close;
+      continue;
+    }
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view name = trimView(list.substr(0, comma));
+      Rule rule;
+      if (!ruleFromName(name, rule)) {
+        pragma.malformed = true;
+        pragma.error = "unknown rule '" + std::string{name} +
+                       "' in detlint:allow (expected unordered-iter, "
+                       "wall-clock, pointer-key, thread-order, hotpath-alloc, "
+                       "float-order, iter-invalidate)";
+        break;
+      }
+      pragma.rules.push_back(rule);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    // Justification: the rest of the pragma's physical line.
+    if (!pragma.malformed) {
+      std::size_t lineEnd = comment.find('\n', close);
+      if (lineEnd == std::string_view::npos) lineEnd = comment.size();
+      const std::string_view justification =
+          trimView(comment.substr(close + 1, lineEnd - close - 1));
+      if (justification.empty()) {
+        pragma.malformed = true;
+        pragma.error =
+            "detlint:allow pragma without a justification — say *why* the "
+            "suppressed construct cannot affect simulation order";
+      }
+    }
+    out.push_back(std::move(pragma));
+    searchFrom = close;
+  }
+}
+
+/// Parses `detlint:hotpath` marks inside one comment. A mark quoted in
+/// prose (preceded by a backtick or quote, as in documentation *about* the
+/// marker) is not a mark.
+void parseHotMarks(std::string_view comment, int startLine,
+                   std::vector<HotMark>& out) {
+  static constexpr std::string_view kMark = "detlint:hotpath";
+  std::size_t searchFrom = 0;
+  for (;;) {
+    const std::size_t at = comment.find(kMark, searchFrom);
+    if (at == std::string_view::npos) return;
+    searchFrom = at + kMark.size();
+    if (at > 0 &&
+        (comment[at - 1] == '`' || comment[at - 1] == '\'' ||
+         comment[at - 1] == '"')) {
+      continue;  // documentation, not a mark
+    }
+    const char next =
+        searchFrom < comment.size() ? comment[searchFrom] : '\n';
+    if (next != ' ' && next != '\t' && next != '\n' && next != '\r') {
+      continue;  // part of a longer word / backticked reference
+    }
+    HotMark mark;
+    mark.line = startLine + static_cast<int>(std::count(
+                                comment.begin(),
+                                comment.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
+    std::size_t lineEnd = comment.find('\n', searchFrom);
+    if (lineEnd == std::string_view::npos) lineEnd = comment.size();
+    mark.why = std::string{
+        trimView(comment.substr(searchFrom, lineEnd - searchFrom))};
+    out.push_back(std::move(mark));
+  }
+}
+
+/// Parses an `#include` target out of one joined directive line; returns
+/// false when the directive is not an include.
+bool parseInclude(std::string_view directive, Include& out) {
+  std::size_t i = 1;  // past '#'
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (directive.substr(i, 7) != "include") return false;
+  i += 7;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (i >= directive.size()) return false;
+  const char open = directive[i];
+  const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (close == '\0') return false;
+  const std::size_t end = directive.find(close, i + 1);
+  if (end == std::string_view::npos) return false;
+  out.target = std::string{directive.substr(i + 1, end - i - 1)};
+  out.angled = open == '<';
+  return true;
+}
+
+}  // namespace
+
+bool isPunct(const Token& t, char c) {
+  return !t.ident && t.text.size() == 1 && t.text[0] == c;
+}
+
+std::string_view trimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool memberAccessAt(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  if (isPunct(toks[i - 1], '.')) return true;
+  return i >= 2 && isPunct(toks[i - 1], '>') && isPunct(toks[i - 2], '-');
+}
+
+std::string_view qualifierAt(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= 3 && isPunct(toks[i - 1], ':') && isPunct(toks[i - 2], ':') &&
+      toks[i - 3].ident) {
+    return toks[i - 3].text;
+  }
+  return {};
+}
+
+std::string receiverChainAt(const std::vector<Token>& toks, std::size_t i) {
+  std::vector<std::string_view> parts;
+  std::size_t p = i;
+  for (;;) {
+    if (p >= 2 && isPunct(toks[p - 1], '.')) {
+      p -= 2;
+    } else if (p >= 3 && isPunct(toks[p - 1], '>') && isPunct(toks[p - 2], '-')) {
+      p -= 3;
+    } else {
+      break;
+    }
+    if (!toks[p].ident) return {};  // expression receiver
+    parts.push_back(toks[p].text);
+  }
+  std::reverse(parts.begin(), parts.end());
+  if (!parts.empty() && parts.front() == "this") parts.erase(parts.begin());
+  std::string out;
+  for (const std::string_view part : parts) {
+    if (!out.empty()) out += '.';
+    out += part;
+  }
+  return out;
+}
+
+std::size_t skipBalancedTokens(const std::vector<Token>& toks, std::size_t at,
+                               char open, char close) {
+  if (at >= toks.size() || !isPunct(toks[at], open)) return 0;
+  int depth = 0;
+  for (std::size_t j = at; j < toks.size(); ++j) {
+    if (isPunct(toks[j], open)) ++depth;
+    if (isPunct(toks[j], close) && --depth == 0) return j + 1;
+  }
+  return 0;
+}
+
+std::size_t skipAngleTokens(const std::vector<Token>& toks, std::size_t at) {
+  if (at >= toks.size() || !isPunct(toks[at], '<')) return 0;
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), at + 160);
+  for (std::size_t j = at; j < limit; ++j) {
+    const Token& t = toks[j];
+    if (t.ident) continue;
+    const char c = t.text[0];
+    if (c == '<') ++depth;
+    if (c == '>' && --depth == 0) return j + 1;
+    if (c == ';' || c == '{' || c == '}') return 0;
+  }
+  return 0;
+}
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      const std::string_view body = src.substr(i, end - i);
+      parsePragmas(body, line, out.pragmas);
+      parseHotMarks(body, line, out.hotMarks);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      const std::string_view body = src.substr(i, end - i);
+      parsePragmas(body, line, out.pragmas);
+      parseHotMarks(body, line, out.hotMarks);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim = std::string{src.substr(i + 2, d - (i + 2))};
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, d);
+      if (end == std::string_view::npos) end = n;
+      const std::string_view body = src.substr(i, end - i);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + closer.size();
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    // Char literal (distinguished from digit separators by context: we only
+    // get here outside identifiers/numbers).
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: never tokenized (`#include <ctime>` is not a
+    // finding — usage is what gets flagged), but the joined text is kept so
+    // the indexer sees includes and R7 sees float-semantics pragmas.
+    if (c == '#') {
+      PpDirective directive;
+      directive.line = line;
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          directive.text += ' ';
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        directive.text += src[i];
+        ++i;
+      }
+      Include inc;
+      inc.line = directive.line;
+      if (parseInclude(directive.text, inc)) out.includes.push_back(std::move(inc));
+      out.directives.push_back(std::move(directive));
+      continue;
+    }
+    // Identifier.
+    if (identStart(c)) {
+      std::size_t end = i + 1;
+      while (end < n && identChar(src[end])) ++end;
+      Token t;
+      t.text = std::string{src.substr(i, end - i)};
+      t.line = line;
+      t.ident = true;
+      out.tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    // Number: skip (digit separators, exponents, hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i + 1;
+      while (end < n && (identChar(src[end]) || src[end] == '.' ||
+                         ((src[end] == '+' || src[end] == '-') &&
+                          (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+                           src[end - 1] == 'p' || src[end - 1] == 'P')))) {
+        ++end;
+      }
+      i = end;
+      continue;
+    }
+    // Punctuation: kept one char at a time.
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      Token t;
+      t.text = std::string(1, c);
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<int> codeLines(const std::vector<Token>& toks) {
+  std::vector<int> lines;
+  for (const Token& t : toks) {
+    if (lines.empty() || lines.back() != t.line) lines.push_back(t.line);
+  }
+  return lines;
+}
+
+}  // namespace detlint

@@ -1,0 +1,104 @@
+#pragma once
+
+// detlint lexing layer.
+//
+// One pass over raw source text produces everything the per-file rule engine
+// and the cross-file indexer consume: identifier/punctuation tokens with
+// comments and string/char literals stripped (so banned names inside strings
+// or prose can never match a rule), suppression pragmas, hot-path marks,
+// #include targets, and raw preprocessor directive text (R7 needs to see
+// `#pragma omp reduction` / fast-math pragmas even though directives never
+// become tokens).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace detlint {
+
+/// One significant element of the source: an identifier or a single
+/// punctuation character.
+struct Token {
+  std::string text;  // identifier text, or one punctuation char
+  int line{1};
+  bool ident{false};
+};
+
+/// A `detlint:allow` / `detlint:allow-file` suppression found in a comment.
+struct Pragma {
+  int line{1};              // line the pragma text sits on
+  bool fileScope{false};    // allow-file
+  std::vector<Rule> rules;  // rules it suppresses
+  bool malformed{false};    // unknown rule or missing justification
+  std::string error;        // R4 message when malformed
+};
+
+/// A `detlint:hotpath` mark: the next function definition at or below this
+/// line is an R6 root whose reachable call tree must not allocate.
+struct HotMark {
+  int line{1};
+  std::string why;  // rest of the marker's physical line (the justification)
+};
+
+/// One `#include` directive.
+struct Include {
+  int line{1};
+  std::string target;  // path as written, quotes/brackets stripped
+  bool angled{false};  // <system> include (never resolved within the tree)
+};
+
+/// A raw preprocessor directive (continuations joined), kept for R7's
+/// pragma checks. Text starts at '#'.
+struct PpDirective {
+  int line{1};
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+  std::vector<HotMark> hotMarks;
+  std::vector<Include> includes;
+  std::vector<PpDirective> directives;
+};
+
+[[nodiscard]] bool isPunct(const Token& t, char c);
+[[nodiscard]] std::string_view trimView(std::string_view s);
+
+/// True when toks[i] is reached through `.` or `->` (member access).
+[[nodiscard]] bool memberAccessAt(const std::vector<Token>& toks,
+                                  std::size_t i);
+
+/// Identifier qualifying toks[i] via `::`, or empty when unqualified.
+[[nodiscard]] std::string_view qualifierAt(const std::vector<Token>& toks,
+                                           std::size_t i);
+
+/// Normalized receiver chain of the member access reaching toks[i]
+/// (`a.b` for `a.b.callee(...)`, leading `this` stripped); empty when the
+/// receiver is an expression (`f().callee(...)`).
+[[nodiscard]] std::string receiverChainAt(const std::vector<Token>& toks,
+                                          std::size_t i);
+
+/// Index one past the token matching toks[at] (an `open` punct); 0 on
+/// failure. Only `open`/`close` affect depth, so lambdas inside argument
+/// lists and parens inside bodies cannot desynchronize the match.
+[[nodiscard]] std::size_t skipBalancedTokens(const std::vector<Token>& toks,
+                                             std::size_t at, char open,
+                                             char close);
+
+/// Index one past a balanced template-argument list starting at '<'; 0 when
+/// it never closes (then the '<' was a comparison, not a template).
+[[nodiscard]] std::size_t skipAngleTokens(const std::vector<Token>& toks,
+                                          std::size_t at);
+
+/// Strips comments, string literals (including raw strings), char literals,
+/// and preprocessor directives; returns tokens plus the comment-carried
+/// pragmas/hot marks and the directive-carried includes/pragma text.
+[[nodiscard]] LexResult lex(std::string_view src);
+
+/// Line numbers that carry at least one code token, sorted ascending.
+[[nodiscard]] std::vector<int> codeLines(const std::vector<Token>& toks);
+
+}  // namespace detlint

@@ -1,13 +1,19 @@
 // detlint CLI — the determinism lint gate.
 //
-//   detlint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
+//   detlint [--root DIR] [--json] [--sarif FILE] [--baseline FILE]
+//           [--write-baseline FILE] [--prune-baseline] [--jobs N]
 //           [--allow-wall-clock SUBSTR]... [paths...]
 //
-// Paths default to src tools bench (resolved against --root, default "."),
-// matching the sim-visible tree. Exit codes: 0 clean, 1 findings, 2 usage or
-// I/O error.
+// Paths default to src tools bench (the wrapper script adds tests and
+// examples), resolved against --root (default "."). A baseline entry that no
+// longer matches any finding is stale: stale entries are reported and fail
+// the gate so baselines only ever shrink; --prune-baseline rewrites the
+// baseline file without them instead. Exit codes: 0 clean, 1 findings or
+// stale baseline entries, 2 usage or I/O error.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,9 +25,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root DIR] [--json] [--baseline FILE]\n"
-               "          [--write-baseline FILE] [--allow-wall-clock SUBSTR]...\n"
-               "          [paths...]\n",
+               "usage: %s [--root DIR] [--json] [--sarif FILE] [--baseline FILE]\n"
+               "          [--write-baseline FILE] [--prune-baseline] [--jobs N]\n"
+               "          [--allow-wall-clock SUBSTR]... [paths...]\n",
                argv0);
   return 2;
 }
@@ -32,8 +38,11 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string baselinePath;
   std::string writeBaselinePath;
+  std::string sarifPath;
   bool json = false;
+  bool pruneBaseline = false;
   detlint::Options opts;
+  opts.jobs = 0;  // CLI default: hardware concurrency
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +60,14 @@ int main(int argc, char** argv) {
       if (!value(baselinePath)) return usage(argv[0]);
     } else if (arg == "--write-baseline") {
       if (!value(writeBaselinePath)) return usage(argv[0]);
+    } else if (arg == "--prune-baseline") {
+      pruneBaseline = true;
+    } else if (arg == "--sarif") {
+      if (!value(sarifPath)) return usage(argv[0]);
+    } else if (arg == "--jobs") {
+      std::string s;
+      if (!value(s)) return usage(argv[0]);
+      opts.jobs = static_cast<unsigned>(std::strtoul(s.c_str(), nullptr, 10));
     } else if (arg == "--allow-wall-clock") {
       std::string s;
       if (!value(s)) return usage(argv[0]);
@@ -66,6 +83,10 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) paths = {"src", "tools", "bench"};
+  if (pruneBaseline && baselinePath.empty()) {
+    std::fprintf(stderr, "detlint: --prune-baseline requires --baseline\n");
+    return 2;
+  }
 
   std::vector<detlint::Finding> findings = detlint::scanTree(root, paths, opts);
 
@@ -82,6 +103,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  bool staleFailure = false;
   if (!baselinePath.empty()) {
     detlint::Baseline baseline;
     if (!baseline.load(baselinePath)) {
@@ -89,7 +111,46 @@ int main(int argc, char** argv) {
                    baselinePath.c_str());
       return 2;
     }
+    const std::vector<std::string> stale = baseline.staleKeys(findings);
+    if (!stale.empty()) {
+      if (pruneBaseline) {
+        std::vector<std::string> kept;
+        for (const std::string& k : baseline.keys()) {
+          if (std::find(stale.begin(), stale.end(), k) == stale.end()) {
+            kept.push_back(k);
+          }
+        }
+        std::ofstream out{baselinePath};
+        if (!out) {
+          std::fprintf(stderr, "detlint: cannot rewrite baseline '%s'\n",
+                       baselinePath.c_str());
+          return 2;
+        }
+        out << detlint::Baseline::serializeKeys(std::move(kept));
+        std::fprintf(stderr, "detlint: pruned %zu stale entr%s from %s\n",
+                     stale.size(), stale.size() == 1 ? "y" : "ies",
+                     baselinePath.c_str());
+      } else {
+        for (const std::string& k : stale) {
+          std::fprintf(stderr,
+                       "detlint: stale baseline entry '%s' matches no finding "
+                       "(run --prune-baseline)\n",
+                       k.c_str());
+        }
+        staleFailure = true;
+      }
+    }
     findings = detlint::applyBaseline(std::move(findings), baseline);
+  }
+
+  if (!sarifPath.empty()) {
+    std::ofstream out{sarifPath};
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write SARIF '%s'\n",
+                   sarifPath.c_str());
+      return 2;
+    }
+    out << detlint::formatSarif(findings);
   }
 
   std::cout << (json ? detlint::formatJson(findings)
@@ -97,5 +158,6 @@ int main(int argc, char** argv) {
   if (!findings.empty() && !json) {
     std::fprintf(stderr, "detlint: %zu finding(s)\n", findings.size());
   }
-  return detlint::exitCodeFor(findings);
+  const int code = detlint::exitCodeFor(findings);
+  return staleFailure && code == 0 ? 1 : code;
 }

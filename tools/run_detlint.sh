@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Runs the detlint determinism gate over the sim-visible tree.
+# Runs the detlint determinism gate over the sim-visible tree plus the test
+# and example trees (pre-existing findings there ride the seeded baseline).
 #
 # Usage: tools/run_detlint.sh [extra detlint args...]
 #   DETLINT_BIN  path to the detlint binary (default: build/tools/detlint/detlint)
@@ -22,4 +23,5 @@ if [ -f "$repo_root/tools/detlint_baseline.txt" ]; then
 fi
 
 # shellcheck disable=SC2086  # baseline_args is intentionally word-split
-exec "$bin" --root "$repo_root" $baseline_args "$@" src tools bench
+exec "$bin" --root "$repo_root" $baseline_args "$@" \
+  src tools bench tests examples
