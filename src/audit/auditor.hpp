@@ -5,13 +5,18 @@
 // Opt-in by design: the hook costs one pointer test per dispatched event
 // when disabled, and one FNV chain step (plus an optional trail append) when
 // enabled. The auditor sees exactly what the determinism contract promises
-// to hold fixed — dispatch time, the event's slot/generation identity, and
-// any kind tags layers choose to note — never host pointers or wall-clock
-// values, so its digest is comparable across thread counts and processes.
-// It also never sees how the queue *stored* an event: the digest covers
-// dispatch order only, so queue-internal reorganisation (timer-wheel lanes,
-// cascades, overflow promotion — see DESIGN.md §10) is invisible to it as
-// long as the (time, schedule-sequence) dispatch contract holds.
+// to hold fixed — dispatch time, the event's *audit stamp* (a logical
+// identity the scheduler assigns: a local-only sequence for ordinary
+// schedules, the canonical (src, srcSeq) fold for events injected from
+// another PDES partition), and any kind tags layers choose to note — never
+// host pointers or wall-clock values, so its digest is comparable across
+// thread counts and processes. It also never sees how the queue *stored* an
+// event: the digest covers dispatch order only, so queue-internal
+// reorganisation (timer-wheel lanes, cascades, overflow promotion — see
+// DESIGN.md §10) is invisible to it, and so is the PDES engine's barrier
+// structure (slot indices and schedule-sequence counters shift when
+// injections land at different barriers, the stamp does not — see
+// DESIGN.md §11's window-coalescing argument).
 
 #include <cstddef>
 #include <cstdint>
@@ -25,12 +30,13 @@ class EventAuditor {
  public:
   explicit EventAuditor(bool recordTrail = false) : recordTrail_{recordTrail} {}
 
-  /// Chains one dispatched event: absolute time plus the {slot, generation}
-  /// pair that is the event's identity (deterministic given the same
-  /// schedule/cancel history).
-  void onEvent(std::int64_t timeNs, std::uint32_t slot, std::uint32_t gen) {
+  /// Chains one dispatched event: absolute time plus the audit stamp that
+  /// is the event's logical identity (deterministic given the same local
+  /// schedule order — storage slots and shared sequence counters are
+  /// deliberately NOT folded; see the header comment).
+  void onEvent(std::int64_t timeNs, std::uint64_t stamp) {
     chain_.mix(static_cast<std::uint64_t>(timeNs));
-    chain_.mix((static_cast<std::uint64_t>(slot) << 32) | gen);
+    chain_.mix(stamp);
     ++events_;
     // detlint:allow(hotpath-alloc) opt-in divergence-debugging trail — off in
     // every gated run; steady-state auditing is digest-only and alloc-free.

@@ -41,6 +41,11 @@ class Gateway {
   [[nodiscard]] PlacementPolicy policy() const { return policy_; }
   void setPolicy(PlacementPolicy p) { policy_ = p; }
 
+  /// Pre-sizes the assignment table for a bulk population of `users` so the
+  /// join loop of a large run (the million-user bench) never rehashes
+  /// mid-placement.
+  void reserveUsers(std::size_t users) { assignment_.reserve(users); }
+
   /// Resolves the shard serving `userKey`, placing the user on first call.
   /// Sticky: later calls return the same shard until forget()/reassign().
   /// Returns nullptr when no shard is accepting users.

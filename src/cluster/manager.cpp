@@ -19,6 +19,14 @@ RelayInstance& InstanceManager::spinUp(const Region& region, bool immediate) {
   return addInstance(region, immediate);
 }
 
+void InstanceManager::reserveUsers(std::size_t expectedTotal) {
+  gateway_->reserveUsers(expectedTotal);
+  if (instances_.empty()) return;
+  const std::size_t perShard =
+      (expectedTotal + instances_.size() - 1) / instances_.size();
+  for (auto& inst : instances_) inst->room().reserveUsers(perShard);
+}
+
 RelayInstance& InstanceManager::addInstance(const Region& region,
                                             bool immediate) {
   const auto id = static_cast<std::uint32_t>(instances_.size());

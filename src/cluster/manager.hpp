@@ -73,6 +73,11 @@ class InstanceManager {
   /// `immediate`, used for the initial fleet).
   RelayInstance& spinUp(const Region& region, bool immediate = false);
 
+  /// Memory-lean bulk setup: pre-sizes the gateway's assignment table for
+  /// `expectedTotal` users and every current shard's room for an even split,
+  /// so a large join loop performs no mid-placement rehash or slot growth.
+  void reserveUsers(std::size_t expectedTotal);
+
   // ---- detached population (benches, tests, examples) ----------------------
   /// Places `userId` via the gateway and joins it to the chosen shard's room.
   /// Returns the shard, or nullptr when the whole cluster is full.

@@ -15,13 +15,35 @@
 // microsecond-scale intra-shard event spacing, which is the whole reason
 // the partitioning parallelizes.
 //
-// Topology is a hub: control <-> every shard partition. A drain therefore
-// travels drain-order -> snapshot-export -> forward-to-target as three
-// timestamped hops; the source empties the moment it exports (in-flight
-// fan-out batches still deliver — they captured their recipients at
-// broadcast time), and the target imports one control hop later. Expected
-// and delivered counts are kept per shard partition, so the zero-loss
-// invariant of the monolithic bench carries over unchanged.
+// Topology: control <-> every shard partition, plus (by default) a full
+// mesh of direct shard <-> shard channels with geo-trunk lookahead. A drain
+// then travels drain-order -> snapshot-to-target as TWO timestamped hops —
+// the source exports straight to the target over its direct link — with the
+// classic three-hop relay through control kept as the fallback whenever no
+// direct channel exists (directShardLinks = false). The source empties the
+// moment it exports (in-flight fan-out batches still deliver — they
+// captured their recipients at broadcast time). Expected and delivered
+// counts are kept per shard partition, so the zero-loss invariant of the
+// monolithic bench carries over unchanged; migration accounting moved from
+// the control book to per-shard import counters so the two-hop path never
+// touches control state from a shard partition's event.
+//
+// Window coalescing: with adaptiveWindows on, the cluster derives per-link
+// send promises (pdes::Partition::promiseNoSendBefore) from what it already
+// knows statically — the drain schedule fixes every control-plane and
+// migration send instant, and the pacing cadence fixes every ghost-forward
+// instant. Between those instants every channel is provably quiet, so the
+// engine's adaptive bounds let each shard run whole stretches of simulated
+// time per barrier instead of one trunk-lookahead window at a time. That —
+// not the hop count — is where the rounds-per-sim-second collapse comes
+// from; see DESIGN.md §11.
+//
+// Interest-scoped forwarding (interestForwarding): each pacing tick, a
+// shard queries its room's AOI grid for avatars within ghostRadiusM of its
+// portal point and ghosts a summary of them to the ring-next shard over the
+// direct link. ghostsSent/ghostsReceived form an exactly-once ledger, and
+// the received fold is auditNoted into the target sim so payloads are
+// digest-pinned.
 //
 // The partition structure is fixed by (shards, regions) alone — never by
 // the worker count — so audit digests are byte-identical for any
@@ -57,6 +79,26 @@ struct PartitionedClusterConfig {
   /// Floor on control-link lookahead (control-plane RPC turnaround); the
   /// geo trunk bound is used when larger.
   Duration controlLookahead = Duration::millis(25);
+  /// Declare direct shard <-> shard channels (full mesh) with geo-trunk
+  /// lookahead: migration snapshots hop source -> target directly (two hops
+  /// instead of three) and interest-scoped ghost forwarding has a lane.
+  /// Off = the classic hub star; migrations then relay through control.
+  bool directShardLinks{true};
+  /// Derive per-link send promises from the drain schedule and pacing
+  /// cadence so the engine coalesces windows (pdes adaptive windows). The
+  /// promises are sound for any schedule — they mirror the exact instants
+  /// the cluster can send at — and digests are unchanged by construction.
+  bool adaptiveWindows{true};
+  /// When > 0, users are placed on a per-shard lattice with this spacing
+  /// (meters) and their poses registered at construction — the
+  /// deterministic population that interest-grid fan-out and ghost
+  /// forwarding need. 0 = no poses (all-to-all fan-out path).
+  double latticeSpacingM{0.0};
+  /// Ghost avatars within ghostRadiusM of each shard's portal point (the
+  /// lattice origin) to the ring-next shard every pacing tick. Requires
+  /// directShardLinks and at least two shards.
+  bool interestForwarding{false};
+  double ghostRadiusM{25.0};
   bool audit{true};
   bool recordTrail{false};
 };
@@ -67,6 +109,14 @@ struct PartitionedClusterStats {
   std::uint64_t delivered{0};
   std::uint64_t migrations{0};
   std::uint64_t migratedUsers{0};
+  /// Cross-partition hops the migrations took in total: 2 per direct-link
+  /// migration, 3 per hub-relayed one — the regression hook for the
+  /// two-hop path.
+  std::uint64_t migrationHops{0};
+  /// Interest-scoped ghost ledger (exactly-once: sent == received once the
+  /// tail drains).
+  std::uint64_t ghostsSent{0};
+  std::uint64_t ghostsReceived{0};
   double maxUtilization{0.0};
   std::vector<std::size_t> usersPerShard;      // shard-id order
   std::vector<std::uint64_t> forwardsPerShard;  // shard-id order
@@ -85,7 +135,9 @@ class PartitionedCluster {
 
   /// Schedules a control-brokered drain of `shard` at absolute time `at`
   /// (must be called before run()). The control partition picks the
-  /// least-assigned accepting target and brokers the three-hop migration.
+  /// least-assigned accepting target; the snapshot then hops straight to
+  /// the target over a direct link when one exists, or relays through
+  /// control otherwise.
   void scheduleDrain(std::uint32_t shard, TimePoint at);
 
   /// Paces every shard at cfg.updateRateHz for `measure`, lets the
@@ -109,10 +161,19 @@ class PartitionedCluster {
   struct Shard {
     std::unique_ptr<RelayInstance> inst;
     std::unique_ptr<PeriodicTask> pacer;
+    // Every counter below is written only by this shard's own partition
+    // events (imports run on the target, ghosts count on sender/receiver
+    // sides separately), so the two-hop path never races on shared state.
     std::uint64_t broadcasts{0};
     std::uint64_t expected{0};
     std::uint64_t delivered{0};
     std::uint64_t seq{0};  // per-partition update sequence stamp
+    std::uint64_t migrationsIn{0};      // snapshots imported here
+    std::uint64_t migratedUsersIn{0};   // users those snapshots carried
+    std::uint64_t migrationHopsIn{0};   // 2 per direct, 3 per hub relay
+    std::uint64_t ghostsSent{0};
+    std::uint64_t ghostsReceived{0};
+    std::int64_t nextGhostTickNs{0};  // promise floor for the ghost lane
     std::vector<std::uint64_t> idsScratch;
   };
 
@@ -121,11 +182,31 @@ class PartitionedCluster {
     return shard + 1;
   }
 
+  [[nodiscard]] bool ghostActive() const {
+    return cfg_.interestForwarding && cfg_.directShardLinks &&
+           shards_.size() > 1;
+  }
+
   void controlDrain(std::uint32_t source);
   void sourceExport(std::uint32_t source, std::uint32_t target);
   void controlForward(std::shared_ptr<RelayRoomSnapshot> snap,
                       std::uint32_t target);
+  /// Final migration hop, always executed on the target's partition.
+  void importMigration(std::uint32_t target,
+                       const std::shared_ptr<RelayRoomSnapshot>& snap,
+                       std::uint32_t hops);
   void paceShard(std::uint32_t shard);
+
+  // ---- promise choreography (adaptiveWindows) -----------------------------
+  /// Earliest instant control could still send on any out-link: the next
+  /// unprocessed drain order, or an in-flight hub-relay forward.
+  [[nodiscard]] std::int64_t nextControlSendNs() const;
+  /// Re-promises every control out-link from the floor above.
+  void promiseControlLinks();
+  /// Re-promises every out-link of shard s: the next drain-order arrival
+  /// (= the export send instant), min'd with the next pacing tick on the
+  /// ghost lane.
+  void promiseShardLinks(std::uint32_t s);
 
   PartitionedClusterConfig cfg_;
   pdes::Engine engine_;
@@ -134,8 +215,17 @@ class PartitionedCluster {
   // after construction): placement counts and accepting flags.
   std::vector<std::uint32_t> assigned_;
   std::vector<bool> accepting_;
-  std::uint64_t migrations_{0};
-  std::uint64_t migratedUsers_{0};
+  // Drain schedule, (timeNs, shard) in execution order once run() stable-
+  // sorts it. The cursors drive the promise floors: drainCursor_ is
+  // control's (advanced as each drain order event executes), the per-shard
+  // cursors advance as each export executes on its shard.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> drainSchedule_;
+  std::size_t drainCursor_{0};
+  std::vector<std::int64_t> pendingForwardNs_;  // in-flight hub relays
+  std::vector<std::vector<std::int64_t>> shardDrainNs_;  // arrival instants
+  std::vector<std::size_t> shardDrainCursor_;
+  bool promisesArmed_{false};
+  std::int64_t pacePeriodNs_{0};
 };
 
 }  // namespace msim::cluster

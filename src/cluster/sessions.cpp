@@ -23,6 +23,12 @@ SessionCluster::SessionCluster(Simulator& sim, DataSpec dataSpec,
       [this](session::Session& s) { mgr_.leaveUser(s.userId()); });
 }
 
+void SessionCluster::reserveSessions(std::size_t expected) {
+  sessions_.reserve(expected);
+  byUser_.reserve(expected);
+  mgr_.reserveUsers(expected);
+}
+
 session::Session& SessionCluster::addSession(std::uint64_t userId,
                                              const Region& region) {
   sessions_.push_back(std::make_unique<session::Session>(hub_, cfg_.session,
@@ -84,6 +90,7 @@ ChurnWorkloadResult runChurnWorkload(std::uint64_t seed,
   scc.tokenTtl = cfg.tokenTtl;
   DataSpec dataSpec;  // plain relay rooms; the session tier is under test
   SessionCluster sc{sim, dataSpec, scc};
+  sc.reserveSessions(static_cast<std::size_t>(cfg.sessions));
 
   // Sessions: subscribe first (queued until accept), connect at RNG-uniform
   // offsets inside the window (a flash crowd when the window is zero).

@@ -38,6 +38,11 @@ class SessionCluster {
  public:
   SessionCluster(Simulator& sim, DataSpec dataSpec, SessionClusterConfig cfg);
 
+  /// Pre-sizes the session table, the user index, the gateway book, and the
+  /// shard rooms for `expected` sessions — the bulk-setup path large churn
+  /// runs use so construction does not dominate the measurement window.
+  void reserveSessions(std::size_t expected);
+
   /// Creates a session for `userId` (not yet connected; call connect()).
   session::Session& addSession(std::uint64_t userId, const Region& region);
   [[nodiscard]] session::Session* sessionOf(std::uint64_t userId);

@@ -27,9 +27,11 @@ std::uint64_t InterestGrid::keyFor(double x, double y) const {
   return packCell(quantize(x), quantize(y));
 }
 
-void InterestGrid::reserve(std::size_t slots) {
-  cells_.reserve(slots);  // upper bound: one cell per member
-  cellPool_.reserve(slots);
+void InterestGrid::reserve(std::size_t slots, std::size_t slotsPerCell) {
+  if (slotsPerCell < 1) slotsPerCell = 1;
+  const std::size_t cells = (slots + slotsPerCell - 1) / slotsPerCell;
+  cells_.reserve(cells);
+  cellPool_.reserve(cells);
   if (slotKey_.size() < slots) slotKey_.resize(slots, kNoCell);
 }
 

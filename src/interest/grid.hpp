@@ -41,7 +41,12 @@ class InterestGrid {
   [[nodiscard]] double cellSize() const { return cellM_; }
 
   /// Pre-sizes the cell table and the slot→cell map for `slots` members.
-  void reserve(std::size_t slots);
+  /// Without density knowledge the cell reservation assumes the worst case
+  /// of one occupied cell per member; callers that know their population
+  /// density (lattice bulk setups) pass `slotsPerCell` to cap the cell
+  /// tables at the true occupancy — a dense crowd at 64 slots/cell reserves
+  /// 64x less, which is what keeps a 64-shard million-user run memory-lean.
+  void reserve(std::size_t slots, std::size_t slotsPerCell = 1);
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t occupiedCells() const { return cellCount_; }

@@ -6,11 +6,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <limits>
+#include <cstdio>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "util/hotpath.hpp"
 #include "util/threadbudget.hpp"
 
 namespace msim::pdes {
@@ -37,6 +39,21 @@ std::uint64_t partitionSeed(std::uint64_t seed, std::uint32_t id) {
   return ns > kInfNs ? kInfNs : ns;
 }
 
+// Cold contract-violation exit for Partition::send: formats into a stack
+// buffer so the hot send() body has no allocation anywhere — not even on
+// its throw edges (the logic_error copy happens only when the run is
+// already dead, inside the exception machinery detlint doesn't see).
+[[noreturn]] void throwSendViolation(const char* reason, std::uint32_t src,
+                                     std::uint32_t dst, std::int64_t recvNs,
+                                     std::int64_t boundNs) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "pdes: send on link %u -> %u %s (recv %lldns, bound %lldns)",
+                src, dst, reason, static_cast<long long>(recvNs),
+                static_cast<long long>(boundNs));
+  throw std::logic_error(buf);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Partition
@@ -46,20 +63,28 @@ Partition::Partition(Engine& engine, std::uint32_t id, std::uint64_t seed)
       id_{id},
       sim_{std::make_unique<Simulator>(partitionSeed(seed, id))} {}
 
-void Partition::send(std::uint32_t dst, TimePoint recvTime,
-                     UniqueFunction fn) {
+MSIM_HOT void Partition::send(std::uint32_t dst, TimePoint recvTime,
+                              UniqueFunction fn) {
   const std::int64_t lookahead = engine_.lookaheadNs(id_, dst);
   if (lookahead < 0) {
-    throw std::logic_error("pdes: send on undeclared link " +
-                           std::to_string(id_) + " -> " + std::to_string(dst));
+    throwSendViolation("has no declared channel", id_, dst,
+                       recvTime.toNanos(), -1);
   }
   const std::int64_t recvNs = recvTime.toNanos();
-  if (recvNs < sim_->now().toNanos() + lookahead) {
-    throw std::logic_error(
-        "pdes: send on link " + std::to_string(id_) + " -> " +
-        std::to_string(dst) + " violates its lookahead contract (recv " +
-        std::to_string(recvNs) + "ns < now + " + std::to_string(lookahead) +
-        "ns)");
+  const std::int64_t nowNs = sim_->now().toNanos();
+  if (recvNs < nowNs + lookahead) {
+    throwSendViolation("violates its lookahead contract", id_, dst, recvNs,
+                       nowNs + lookahead);
+  }
+  const std::int64_t promiseNs =
+      engine_.promiseNs_[static_cast<std::size_t>(id_) *
+                             engine_.partitions_.size() +
+                         dst];
+  if (nowNs < promiseNs) {
+    throwSendViolation(
+        "breaks its promiseNoSendBefore floor — the neighbor's window may "
+        "already have run past this instant",
+        id_, dst, recvNs, promiseNs);
   }
   ChannelMessage m;
   m.dst = dst;
@@ -68,6 +93,10 @@ void Partition::send(std::uint32_t dst, TimePoint recvTime,
   m.srcSeq = sendSeq_++;
   m.fn = std::move(fn);
   outbox_.push_back(std::move(m));
+}
+
+void Partition::promiseNoSendBefore(std::uint32_t dst, TimePoint earliest) {
+  engine_.notePromise(id_, dst, earliest);
 }
 
 // ------------------------------------------------------------------- Engine
@@ -158,8 +187,14 @@ Engine::Engine(std::uint32_t partitions, std::uint64_t seed, EngineConfig cfg)
     if (cfg_.audit) partitions_.back()->sim().enableAudit(cfg_.recordTrail);
   }
   lookaheadNs_.assign(static_cast<std::size_t>(partitions) * partitions, -1);
+  promiseNs_.assign(static_cast<std::size_t>(partitions) * partitions, 0);
+  promisedAny_.assign(partitions, 0);
   eot_.assign(partitions, kInfNs);
   boundNs_.assign(partitions, kInfNs);
+  eotBase_.assign(partitions, kInfNs);
+  boundBaseNs_.assign(partitions, kInfNs);
+  idleRounds_.assign(partitions, 0);
+  injectionDigest_.assign(partitions, 0);
 }
 
 Engine::~Engine() = default;
@@ -187,7 +222,32 @@ Duration Engine::lookahead(std::uint32_t src, std::uint32_t dst) const {
   return Duration::nanos(lookaheadNs(src, dst));
 }
 
-std::size_t Engine::deliverPending() {
+void Engine::notePromise(std::uint32_t src, std::uint32_t dst,
+                         TimePoint earliest) {
+  if (lookaheadNs(src, dst) < 0) {
+    throw std::logic_error("pdes: promise on undeclared link " +
+                           std::to_string(src) + " -> " + std::to_string(dst));
+  }
+  std::int64_t& cell =
+      promiseNs_[static_cast<std::size_t>(src) * partitions_.size() + dst];
+  const std::int64_t ns = clampInf(earliest.toNanos());
+  if (ns < cell) {
+    // A promise is a floor the receiver may already have scheduled past;
+    // weakening it retroactively would corrupt windows that are already
+    // history. Catch the logic error loudly instead.
+    throw std::logic_error(
+        "pdes: retrograde promise on link " + std::to_string(src) + " -> " +
+        std::to_string(dst) + " (" + std::to_string(ns) +
+        "ns below the earlier floor " + std::to_string(cell) + "ns)");
+  }
+  cell = ns;
+  // Per-source flag, written only by the owning partition's thread and read
+  // between rounds (the barrier orders it) — a single shared bool here
+  // would be a cross-partition data race.
+  promisedAny_[src] = 1;
+}
+
+MSIM_HOT std::size_t Engine::deliverPending() {
   inboxScratch_.clear();
   for (auto& p : partitions_) {
     for (ChannelMessage& m : p->outbox_) inboxScratch_.push_back(std::move(m));
@@ -213,48 +273,101 @@ std::size_t Engine::deliverPending() {
       // would mask a synchronization bug as a subtle timing shift.
       throw std::logic_error("pdes: message arrived in its target's past");
     }
-    dst.auditNote(audit::combine(audit::combine(m.src, m.srcSeq),
-                                 static_cast<std::uint64_t>(m.recvTimeNs)));
-    dst.schedule(TimePoint::fromNanos(m.recvTimeNs), std::move(m.fn));
+    if (cfg_.audit) {
+      // Fold into the per-destination engine-side chain rather than
+      // auditNote-ing into the sim's interleaved event chain: the fold
+      // position is then canonical delivery order, not window structure,
+      // so coalesced and uncoalesced runs stay byte-identical.
+      std::uint64_t& chain = injectionDigest_[m.dst];
+      chain = audit::combine(chain,
+                             audit::combine(audit::combine(m.src, m.srcSeq),
+                                            static_cast<std::uint64_t>(m.recvTimeNs)));
+    }
+    // Canonical (src, srcSeq) stamp: the injected event's audit identity is
+    // a pure function of who sent it, never of which barrier injected it.
+    dst.scheduleExternal(TimePoint::fromNanos(m.recvTimeNs),
+                         audit::combine(m.src, m.srcSeq), std::move(m.fn));
   }
   const std::size_t delivered = inboxScratch_.size();
   inboxScratch_.clear();
   return delivered;
 }
 
-void Engine::computeBounds(std::int64_t limitNs) {
-  // EOT fixed point: E_j = min(localNext_j, min over s->j (E_s + L_sj)).
+void Engine::relaxBounds(std::vector<std::int64_t>& eot,
+                         std::vector<std::int64_t>& bound,
+                         std::int64_t limitNs, bool usePromises) {
+  // EOT fixed point: E_j = min(localNext_j, min over s->j (C_sj + L_sj))
+  // where the per-channel output bound C_sj is E_s, raised to the link's
+  // promised send floor when promises are honored: C_sj = max(E_s, P_sj).
   // Seed with local next-event lower bounds, then relax over the link
   // table until stable — Bellman-Ford on a graph of |partitions| nodes,
   // where positive lookaheads guarantee convergence (each pass can only
   // lower an E_j toward the global minimum plus accumulated lookaheads).
+  // Promises only ever raise a channel's bound above the plain fixed
+  // point, so the progress argument is untouched.
   const std::uint32_t count = partitionCount();
   for (std::uint32_t i = 0; i < count; ++i) {
-    eot_[i] = clampInf(partitions_[i]->sim().nextEventTimeLowerBound().toNanos());
+    eot[i] = clampInf(partitions_[i]->sim().nextEventTimeLowerBound().toNanos());
   }
+  const std::size_t stride = partitions_.size();
+  auto channelEot = [&](const Link& l) {
+    std::int64_t e = eot[l.src];
+    if (usePromises) {
+      const std::int64_t floor =
+          promiseNs_[static_cast<std::size_t>(l.src) * stride + l.dst];
+      if (floor > e) e = floor;
+    }
+    return e;
+  };
   for (bool changed = true; changed;) {
     changed = false;
     for (const Link& l : links_) {
-      const std::int64_t viaLink = clampInf(eot_[l.src] + l.lookaheadNs);
-      if (viaLink < eot_[l.dst]) {
-        eot_[l.dst] = viaLink;
+      const std::int64_t viaLink = clampInf(channelEot(l) + l.lookaheadNs);
+      if (viaLink < eot[l.dst]) {
+        eot[l.dst] = viaLink;
         changed = true;
       }
     }
   }
-  // bound_i: nothing can arrive at i before any incoming source's EOT plus
-  // that link's lookahead, so i may execute everything strictly earlier.
-  // Partitions with no incoming links are bounded by the run limit alone.
-  for (std::uint32_t i = 0; i < count; ++i) boundNs_[i] = kInfNs;
+  // bound_i: nothing can arrive at i before any incoming channel's output
+  // bound plus that link's lookahead, so i may execute everything strictly
+  // earlier. Partitions with no incoming links are bounded by the run
+  // limit alone.
+  for (std::uint32_t i = 0; i < count; ++i) bound[i] = kInfNs;
   for (const Link& l : links_) {
-    boundNs_[l.dst] =
-        std::min(boundNs_[l.dst], clampInf(eot_[l.src] + l.lookaheadNs));
+    bound[l.dst] = std::min(bound[l.dst], clampInf(channelEot(l) + l.lookaheadNs));
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     // Execute events strictly below the bound, never past the run limit:
     // run(t) is inclusive of t, hence the -1.
-    boundNs_[i] = std::min(boundNs_[i] - 1, limitNs);
+    bound[i] = std::min(bound[i] - 1, limitNs);
   }
+}
+
+std::uint64_t Engine::computeBounds(std::int64_t limitNs) {
+  bool promisesActive = false;
+  if (cfg_.adaptiveWindows) {
+    for (const char flagged : promisedAny_) {
+      if (flagged != 0) {
+        promisesActive = true;
+        break;
+      }
+    }
+  }
+  relaxBounds(eot_, boundNs_, limitNs, promisesActive);
+  if (!promisesActive) return 0;
+  // Promise-free comparison pass: how many partitions did a promise let
+  // run past the plain conservative horizon this round? This is the
+  // coalescing win the counters expose; it costs a second relaxation only
+  // while promises are active, and active promises shrink the round count
+  // far more than the pass costs.
+  relaxBounds(eotBase_, boundBaseNs_, limitNs, false);
+  std::uint64_t coalesced = 0;
+  const std::uint32_t count = partitionCount();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (boundNs_[i] > boundBaseNs_[i]) ++coalesced;
+  }
+  return coalesced;
 }
 
 void Engine::runOne(std::uint32_t i) {
@@ -286,11 +399,12 @@ RunReport Engine::run(TimePoint limit) {
   if (workers == 0) workers = 1;
   report.workers = workers;
 
+  idleRounds_.assign(count, 0);
   std::uint64_t stalledRounds = 0;
   for (;;) {
     const std::size_t delivered = deliverPending();
     report.messagesDelivered += delivered;
-    computeBounds(limitNs);
+    const std::uint64_t coalesced = computeBounds(limitNs);
     bool done = true;
     for (std::uint32_t i = 0; i < count; ++i) {
       const TimePoint lb = partitions_[i]->sim().nextEventTimeLowerBound();
@@ -300,9 +414,14 @@ RunReport Engine::run(TimePoint limit) {
       }
     }
     if (done) break;
+    report.coalescedWindows += coalesced;
     runRound(workers);
     std::uint64_t executed = 0;
-    for (const auto& p : partitions_) executed += p->executed_;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t ran = partitions_[i]->executed_;
+      if (ran == 0) ++idleRounds_[i];
+      executed += ran;
+    }
     report.eventsExecuted += executed;
     ++report.rounds;
     // Lookahead positivity guarantees progress (see computeBounds); if that
@@ -319,6 +438,14 @@ RunReport Engine::run(TimePoint limit) {
   // advances time), so repeated run() calls and post-run probes see one
   // consistent instant.
   for (auto& p : partitions_) p->sim().run(limit);
+
+  if (report.rounds > 0) {
+    report.idleFraction.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      report.idleFraction.push_back(static_cast<double>(idleRounds_[i]) /
+                                    static_cast<double>(report.rounds));
+    }
+  }
   return report;
 }
 
@@ -326,11 +453,15 @@ audit::RunFingerprint Engine::auditFingerprint() const {
   audit::RunFingerprint fp;
   if (!cfg_.audit) return fp;
   std::uint64_t digest = 0;
-  for (const auto& p : partitions_) {
-    const std::uint64_t d = p->sim().auditDigest();
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& p = *partitions_[i];
+    // A partition's identity is its sim's event chain plus the canonical
+    // injection chain of everything delivered to it.
+    const std::uint64_t d =
+        audit::combine(p.sim().auditDigest(), injectionDigest_[i]);
     digest = audit::combine(digest, d);
     fp.trail.push_back(d);
-    fp.events += p->sim().executedEvents();
+    fp.events += p.sim().executedEvents();
   }
   fp.digest = digest;
   return fp;

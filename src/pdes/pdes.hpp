@@ -33,6 +33,20 @@
 // deadlock, for any topology, including cycles (see the low-lookahead
 // stress test in tests/pdes_test.cpp).
 //
+// Adaptive window sizing (EngineConfig::adaptiveWindows) generalizes the
+// per-link lookahead with per-link *send promises*: a partition may declare
+// promiseNoSendBefore(dst, t) — it will not call send() toward dst before
+// absolute simulated time t. The EOT relaxation then uses the per-channel
+// output bound max(E_s, P_sd) + L_sd instead of E_s + L_sd, so a link whose
+// sender is provably quiet stops throttling its receiver and a partition
+// with slack coalesces what would have been many lookahead-sized windows
+// into one barrier crossing. Promises only ever *raise* bounds relative to
+// the plain fixed point, so deadlock-freedom and the determinism argument
+// below are unchanged; send() enforces every promise the way it enforces
+// lookahead — by throwing. RunReport::coalescedWindows counts how often a
+// promise actually extended a partition's window past the promise-free
+// horizon.
+//
 // Determinism argument (the property PR-3's audit layer pins):
 //   * the partition structure and link table are fixed by the caller and
 //     never depend on the worker count;
@@ -98,6 +112,18 @@ class Partition {
   /// corrupt the conservative schedule, so it fails loudly instead.
   void send(std::uint32_t dst, TimePoint recvTime, UniqueFunction fn);
 
+  /// Declares that this partition will not call send() toward `dst` before
+  /// absolute simulated time `earliest`. Promises are monotone — a later
+  /// promise may only move the floor forward (retrograde promises throw) —
+  /// and are enforced by send() exactly like the link lookahead. Callable
+  /// before run() (topology-derived schedules) or from this partition's own
+  /// executing events (e.g. "quiet until my next pacing tick"); an update
+  /// made inside a window takes effect at the next barrier. Under
+  /// EngineConfig::adaptiveWindows the bound computation uses
+  /// max(EOT, promise) + lookahead per channel, letting receivers of quiet
+  /// links coalesce windows.
+  void promiseNoSendBefore(std::uint32_t dst, TimePoint earliest);
+
  private:
   friend class Engine;
   Partition(Engine& engine, std::uint32_t id, std::uint64_t seed);
@@ -119,6 +145,11 @@ struct EngineConfig {
   bool audit{false};
   /// Keep per-event audit trails (divergence localization; costs memory).
   bool recordTrail{false};
+  /// Honor per-link send promises when computing window bounds (window
+  /// coalescing). Promises are *enforced* either way; turning this off only
+  /// makes the bound computation ignore them — the uncoalesced comparator
+  /// the adaptive-window tests pin digests against.
+  bool adaptiveWindows{true};
 };
 
 /// What one run() did.
@@ -126,7 +157,14 @@ struct RunReport {
   std::uint64_t rounds{0};             // synchronization windows executed
   std::uint64_t eventsExecuted{0};     // across all partitions
   std::uint64_t messagesDelivered{0};  // cross-partition
+  std::uint64_t coalescedWindows{0};   // (round, partition) pairs where a
+                                       // promise extended the window past
+                                       // the promise-free horizon
   unsigned workers{1};                 // pool size actually used
+  /// Per partition: fraction of this run's rounds in which the partition
+  /// executed zero events — the idle share the coalescing is meant to
+  /// shrink. Empty when rounds == 0.
+  std::vector<double> idleFraction;
 };
 
 /// The conservative synchronization engine. Construction fixes the
@@ -156,6 +194,18 @@ class Engine {
   /// The declared lookahead, or a negative Duration when not linked.
   [[nodiscard]] Duration lookahead(std::uint32_t src, std::uint32_t dst) const;
 
+  /// Whether a src -> dst channel has been declared.
+  [[nodiscard]] bool linked(std::uint32_t src, std::uint32_t dst) const {
+    return lookaheadNs(src, dst) >= 0;
+  }
+
+  /// The current send floor promised on src -> dst (epoch when none).
+  [[nodiscard]] TimePoint sendPromise(std::uint32_t src,
+                                      std::uint32_t dst) const {
+    return TimePoint::fromNanos(
+        promiseNs_[static_cast<std::size_t>(src) * partitions_.size() + dst]);
+  }
+
   /// Runs every partition to `limit` under conservative synchronization;
   /// on return all partition clocks sit exactly at `limit` and no event at
   /// or before `limit` is pending. Callable repeatedly with increasing
@@ -178,7 +228,13 @@ class Engine {
   }
 
   std::size_t deliverPending();  // canonical cross-partition injection
-  void computeBounds(std::int64_t limitNs);
+  void notePromise(std::uint32_t src, std::uint32_t dst, TimePoint earliest);
+  /// Computes eot_/boundNs_; returns how many partitions' windows a promise
+  /// extended past the promise-free horizon this round.
+  std::uint64_t computeBounds(std::int64_t limitNs);
+  void relaxBounds(std::vector<std::int64_t>& eot,
+                   std::vector<std::int64_t>& bound, std::int64_t limitNs,
+                   bool usePromises);
   void runRound(unsigned workers);
   void runOne(std::uint32_t i);
 
@@ -192,9 +248,22 @@ class Engine {
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<Link> links_;
   std::vector<std::int64_t> lookaheadNs_;  // dense src*P+dst, -1 = none
+  std::vector<std::int64_t> promiseNs_;  // dense src*P+dst send floors
+  std::vector<char> promisedAny_;        // per src; avoids a shared-bool race
   std::vector<ChannelMessage> inboxScratch_;
   std::vector<std::int64_t> eot_;      // EOT fixed point, per partition
   std::vector<std::int64_t> boundNs_;  // exclusive execution bound
+  std::vector<std::int64_t> eotBase_;      // promise-free comparison pass
+  std::vector<std::int64_t> boundBaseNs_;  // (coalescedWindows counter)
+  std::vector<std::uint64_t> idleRounds_;  // per partition, current run()
+  // Cross-partition injections fold into a per-destination digest chain in
+  // canonical delivery order. Keeping the chain on the engine side (rather
+  // than auditNote-ing into the destination sim's interleaved event chain)
+  // makes the fingerprint independent of *window structure*: a coalesced
+  // and an uncoalesced run inject the same messages in the same canonical
+  // order even though the barrier cuts differ, so their digests match
+  // byte-for-byte.
+  std::vector<std::uint64_t> injectionDigest_;
   struct Pool;
   std::unique_ptr<Pool> pool_;  // live only inside run()
 };

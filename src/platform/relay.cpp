@@ -52,7 +52,7 @@ RelayRoom::RelayRoom(Simulator& sim, DataSpec spec)
       grid_{interest_.cellM},
       gridActive_{interest_.cull()} {}
 
-void RelayRoom::reserveUsers(std::size_t users) {
+void RelayRoom::reserveUsers(std::size_t users, std::size_t slotsPerCell) {
   ids_.reserve(users);
   homes_.reserve(users);
   posX_.reserve(users);
@@ -71,7 +71,7 @@ void RelayRoom::reserveUsers(std::size_t users) {
   freeSlots_.reserve(users);
   unplaced_.reserve(users);
   index_.reserve(users);
-  if (gridActive_) grid_.reserve(users);
+  if (gridActive_) grid_.reserve(users, slotsPerCell);
 }
 
 void RelayRoom::setProvisioningFactor(double factor) {

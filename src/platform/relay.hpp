@@ -115,8 +115,10 @@ class RelayRoom {
 
   /// Pre-sizes the slot columns, id→slot table, and interest grid for
   /// `users` (join stays rehash-free up to that count). Called by
-  /// deployments that know the expected event size.
-  void reserveUsers(std::size_t users);
+  /// deployments that know the expected event size. `slotsPerCell` caps the
+  /// interest grid's cell reservation when the caller knows its population
+  /// density (see InterestGrid::reserve).
+  void reserveUsers(std::size_t users, std::size_t slotsPerCell = 1);
 
   /// Total bytes the room refused to forward due to the viewport filter.
   [[nodiscard]] ByteSize viewportFilteredBytes() const { return filtered_; }
@@ -177,6 +179,35 @@ class RelayRoom {
   /// LoD rhythm survive the handoff.
   void importSnapshot(const RelayRoomSnapshot& snap,
                       const std::function<RelayServer*(std::uint64_t)>& homeFor = {});
+
+  /// Visits every member whose last known pose lies within `radius` of
+  /// (x, y) as fn(userId, poseX, poseY), in deterministic order: the
+  /// interest grid's (cell row, cell column, ascending slot) order when the
+  /// grid is active, ascending slot order otherwise. Read-only. The
+  /// partitioned cluster uses this to pick boundary avatars for
+  /// interest-scoped ghost forwarding to a neighboring shard.
+  // detlint:hotpath boundary-avatar scan on the shard pacing tick — rides the
+  // interest grid's zero-alloc candidate walk
+  template <typename Fn>
+  void forEachNearby(double x, double y, double radius, Fn&& fn) const {
+    const double r2 = radius * radius;
+    if (gridActive_) {
+      grid_.forEachCandidate(
+          x, y, radius,
+          [&](std::uint32_t, std::uint64_t id, double sx, double sy) {
+            const double dx = sx - x;
+            const double dy = sy - y;
+            if (dx * dx + dy * dy <= r2) fn(id, sx, sy);
+          });
+      return;
+    }
+    for (std::size_t s = 0; s < ids_.size(); ++s) {
+      if (ids_[s] == kNoUser || poseKnown_[s] == 0) continue;
+      const double dx = posX_[s] - x;
+      const double dy = posY_[s] - y;
+      if (dx * dx + dy * dy <= r2) fn(ids_[s], posX_[s], posY_[s]);
+    }
+  }
 
  private:
   /// ids_ sentinel marking a free slot.

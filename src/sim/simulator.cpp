@@ -160,11 +160,22 @@ void Simulator::releaseSlot(std::uint32_t index) {
 // stay pool-recycled (slots, wheel lanes, buckets) so a 100k-avatar run's
 // steady state never touches the heap.
 MSIM_HOT EventId Simulator::schedule(TimePoint t, Callback cb) {
+  return scheduleStamped(t, ++localStampCounter_, std::move(cb));
+}
+
+EventId Simulator::scheduleExternal(TimePoint t, std::uint64_t stamp,
+                                    Callback cb) {
+  return scheduleStamped(t, stamp, std::move(cb));
+}
+
+MSIM_HOT EventId Simulator::scheduleStamped(TimePoint t, std::uint64_t stamp,
+                                            Callback cb) {
   if (t < now_) t = now_;
   const std::uint32_t index = acquireSlot();
   Slot& slot = slotAt(index);
   slot.live = true;
   slot.seq = ++seqCounter_;
+  slot.auditStamp = stamp;
   slot.cb = std::move(cb);
   const std::int64_t tNs = t.toNanos();
   if ((tNs >> kWheelTopShift) - (wheelNowNs_ >> kWheelTopShift) <
@@ -577,7 +588,7 @@ MSIM_HOT std::size_t Simulator::run(TimePoint limit) {
     --pendingEntries_;
     --wheelEvents_;
     now_ = TimePoint::fromNanos(top.timeNs);
-    if (auditor_) auditor_->onEvent(top.timeNs, top.slot, top.gen);
+    if (auditor_) auditor_->onEvent(top.timeNs, slot.auditStamp);
     // Retire the slot before invoking — valid() reads false and cancel()
     // is a no-op while the callback runs — but keep it off the free list
     // until afterwards, so the callback executes in place (slot addresses

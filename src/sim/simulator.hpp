@@ -89,6 +89,16 @@ class Simulator {
   /// Schedules `cb` after `delay` from now (negative treated as zero).
   EventId scheduleAfter(Duration delay, Callback cb);
 
+  /// Schedules an event injected from OUTSIDE this simulation (the PDES
+  /// engine's cross-partition deliveries) with a caller-provided audit
+  /// stamp. Identical to schedule() for ordering purposes, but the event's
+  /// audit identity is `stamp` (canonically derived by the caller, e.g.
+  /// from (src partition, send sequence)) and the local stamp counter is
+  /// NOT consumed — so local events keep the same audit identities no
+  /// matter when injections arrive, which is what makes audit digests
+  /// independent of the engine's barrier structure.
+  EventId scheduleExternal(TimePoint t, std::uint64_t stamp, Callback cb);
+
   /// Cancels a live event in O(1); a fired or already-cancelled id is a
   /// no-op. The callback is destroyed eagerly (captured resources release
   /// at cancel time, not at pop time).
@@ -152,7 +162,7 @@ class Simulator {
   // ---- determinism auditing (opt-in; see audit/auditor.hpp) --------------
 
   /// Starts chaining an FNV-1a digest over every subsequently dispatched
-  /// event (time, slot, generation). With `recordTrail` the per-event chain
+  /// event (time, audit stamp). With `recordTrail` the per-event chain
   /// values are kept so divergence reports can name the first mismatching
   /// event index. Idempotent while enabled.
   audit::EventAuditor& enableAudit(bool recordTrail = false) {
@@ -200,6 +210,11 @@ class Simulator {
     std::uint32_t generation{0};
     bool live{false};
     std::uint64_t seq{0};  // schedule-order stamp; total order is (time, seq)
+    // Audit identity: local schedule count for ordinary events, the
+    // caller's canonical stamp for scheduleExternal injections. Folded by
+    // the auditor instead of (slot, generation)/(seq), which shift with
+    // injection timing.
+    std::uint64_t auditStamp{0};
     Callback cb;
   };
   // Slots live in fixed-size chunks with stable addresses: growing the pool
@@ -347,6 +362,7 @@ class Simulator {
   void wheelInsert(const WheelEntry& e, bool fromAdvance);
   [[nodiscard]] int nextOccupiedDistance(int level, std::uint32_t from) const;
   void flushLane(int level, std::uint32_t lane);
+  EventId scheduleStamped(TimePoint t, std::uint64_t stamp, Callback cb);
   void directDrainLane(int level, std::uint32_t lane);
   void cascadeLane(int level, std::uint32_t lane);
   void promoteOverflow();
@@ -356,6 +372,7 @@ class Simulator {
   std::uint64_t executed_{0};
   std::uint64_t lastId_{0};
   std::uint64_t seqCounter_{0};
+  std::uint64_t localStampCounter_{0};  // audit identities for local events
   std::size_t liveEvents_{0};
   std::size_t pendingEntries_{0};
   // Wheel state: per-lane FIFO block chains (level-major), occupancy bitmaps,

@@ -69,17 +69,17 @@ TEST(DigestTest, FirstDivergenceFindsTheExactIndex) {
 
 TEST(AuditorTest, TrailRecordsOneChainValuePerEvent) {
   audit::EventAuditor auditor{/*recordTrail=*/true};
-  auditor.onEvent(1000, 0, 1);
-  auditor.onEvent(2000, 1, 1);
-  auditor.onEvent(2000, 0, 2);
+  auditor.onEvent(1000, 1);
+  auditor.onEvent(2000, 2);
+  auditor.onEvent(2000, 3);
   EXPECT_EQ(auditor.eventCount(), 3u);
   ASSERT_EQ(auditor.trail().size(), 3u);
   EXPECT_EQ(auditor.trail().back(), auditor.digest());
-  // The chain must distinguish slot reuse across generations.
+  // The chain must distinguish same-time events by their audit stamps.
   audit::EventAuditor other{true};
-  other.onEvent(1000, 0, 1);
-  other.onEvent(2000, 1, 1);
-  other.onEvent(2000, 0, 3);  // same slot, different generation
+  other.onEvent(1000, 1);
+  other.onEvent(2000, 2);
+  other.onEvent(2000, 4);  // same time, different stamp
   EXPECT_NE(other.digest(), auditor.digest());
 }
 

@@ -298,6 +298,45 @@ TEST(DetlintGraph, WalkHotPathsReturnsRootAndPath) {
   EXPECT_EQ(hits[0].path, "root -> mid -> leaf");
 }
 
+TEST(DetlintGraph, DirectLinkInjectionIdiomIsAllocFree) {
+  // The PDES direct-link injection shape (pdes.cpp): a MSIM_HOT send()
+  // whose contract-violation throw path is pragma-allowed and whose outbox
+  // append is amortized (the barrier merge clear()s it in the same file),
+  // feeding a hot merge that drains outboxes into a recycled scratch. The
+  // whole idiom must come out clean — it is the repo's hot path.
+  const std::vector<SourceFile> files = {
+      {"engine.cpp",
+       "MSIM_HOT void Partition::send(int dst, long t, Fn fn) {\n"
+       "  if (t < floor_) {\n"
+       "    // detlint:allow(hotpath-alloc) cold contract-violation path\n"
+       "    throw std::logic_error(describe(dst, t));\n"
+       "  }\n"
+       "  outbox_.push_back(Msg{dst, t, fn});\n"
+       "}\n"
+       "MSIM_HOT void Engine::merge() {\n"
+       "  for (Msg& m : src_.outbox_) inboxScratch_.push_back(m);\n"
+       "  src_.outbox_.clear();\n"
+       "  inject(inboxScratch_);\n"
+       "  inboxScratch_.clear();\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(detlint::scanSources(files).empty());
+}
+
+TEST(DetlintGraph, UnamortizedOutboxAppendStillFires) {
+  // Same send() shape with the barrier-side clear() removed: the append is
+  // plain growth on a hot path and must be reported at its own line.
+  const std::vector<SourceFile> files = {
+      {"engine.cpp",
+       "MSIM_HOT void Partition::send(int dst, long t, Fn fn) {\n"
+       "  outbox_.push_back(Msg{dst, t, fn});\n"
+       "}\n"},
+  };
+  const auto fs = detlint::scanSources(files);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(hasFinding(fs, Rule::HotPathAlloc, "engine.cpp", 2));
+}
+
 TEST(DetlintGraph, SuppressionInOwningFileFiltersGraphFinding) {
   // The allow pragma lives next to the allocation (in the callee's file),
   // not next to the root — the graph pass must honor the owning file's

@@ -264,6 +264,165 @@ TEST(PdesDeterminism, LowLookaheadStressTerminatesAndMatches) {
   EXPECT_EQ(base.digest, parallel.digest);
 }
 
+// ------------------------------------------------- send promises
+
+TEST(PdesPromise, SendBeforePromisedFloorThrows) {
+  pdes::Engine engine{2, 1};
+  engine.link(0, 1, Duration::millis(1));
+  engine.partition(0).promiseNoSendBefore(
+      1, TimePoint::epoch() + Duration::millis(5));
+  // Pre-run now is the epoch, below the promised floor: the send must fail
+  // loudly — the receiver's window may already have been scheduled past it.
+  EXPECT_THROW(engine.partition(0).send(
+                   1, TimePoint::epoch() + Duration::millis(10), [] {}),
+               std::logic_error);
+  // From an event at/after the floor the link works again.
+  auto fired = std::make_shared<int>(0);
+  pdes::Engine* ep = &engine;
+  engine.partition(0).sim().schedule(
+      TimePoint::epoch() + Duration::millis(6), [ep, fired] {
+        ep->partition(0).send(1,
+                              ep->partition(0).sim().now() + Duration::millis(1),
+                              [fired] { ++*fired; });
+      });
+  engine.run(TimePoint::epoch() + Duration::millis(10));
+  EXPECT_EQ(*fired, 1);
+}
+
+TEST(PdesPromise, RetrogradeOrUnlinkedPromiseThrows) {
+  pdes::Engine engine{3, 1};
+  engine.link(0, 1, Duration::millis(1));
+  EXPECT_THROW(engine.partition(0).promiseNoSendBefore(
+                   2, TimePoint::epoch() + Duration::millis(1)),
+               std::logic_error);
+  engine.partition(0).promiseNoSendBefore(
+      1, TimePoint::epoch() + Duration::millis(10));
+  EXPECT_THROW(engine.partition(0).promiseNoSendBefore(
+                   1, TimePoint::epoch() + Duration::millis(5)),
+               std::logic_error);
+  // Monotone: re-promising the same floor or a later one is legal.
+  engine.partition(0).promiseNoSendBefore(
+      1, TimePoint::epoch() + Duration::millis(10));
+  engine.partition(0).promiseNoSendBefore(
+      1, TimePoint::epoch() + Duration::millis(12));
+  EXPECT_EQ(engine.sendPromise(0, 1),
+            TimePoint::epoch() + Duration::millis(12));
+}
+
+// ------------------------------------------------- adaptive windows (S4)
+
+// Two partitions with heterogeneous lookaheads and dense local work. Each
+// runs promised periodic sends toward the other; between sends every
+// channel is provably quiet, so the adaptive engine coalesces what the
+// plain EOT fixed point must run one-lookahead-at-a-time. All periods and
+// tick spacings are pairwise co-prime and message arrivals are checked (by
+// construction) to never collide with a local event instant — exact
+// same-time ties are the one case where schedule-seq stamps become
+// window-dependent.
+struct PromiseWorkloadResult {
+  std::uint64_t digest{0};
+  pdes::RunReport report;
+};
+
+PromiseWorkloadResult promiseWorkload(std::uint64_t seed, unsigned threads,
+                                      bool adaptive) {
+  pdes::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.audit = true;
+  cfg.adaptiveWindows = adaptive;
+  pdes::Engine engine{2, seed, cfg};
+  engine.link(0, 1, Duration::millis(1));
+  engine.link(1, 0, Duration::millis(7));
+
+  struct Driver {
+    pdes::Engine& engine;
+    // Local busy ticks at co-prime microsecond spacings (43us on 0, 37us on
+    // 1): RNG draws folded into the audit chain, never a send.
+    void micro(std::uint32_t id, std::int64_t spacingUs) {
+      Simulator& sim = engine.partition(id).sim();
+      sim.auditNote(
+          static_cast<std::uint64_t>(sim.rng().uniformInt(0, 1 << 16)));
+      const TimePoint at = sim.now() + Duration::micros(spacingUs);
+      if (at > TimePoint::epoch() + Duration::millis(30)) return;
+      sim.schedule(at, [this, id, spacingUs] { micro(id, spacingUs); });
+    }
+    // Promised periodic sender: send now (the floor admits this instant),
+    // then raise the floor to the next tick before going quiet.
+    void sender(std::uint32_t id, std::int64_t periodUs, TimePoint stop) {
+      pdes::Partition& p = engine.partition(id);
+      const std::uint32_t other = 1 - id;
+      pdes::Engine* ep = &engine;
+      p.send(other, p.sim().now() + engine.lookahead(id, other),
+             [ep, other] {
+               ep->partition(other).sim().auditNote(0x9e3779b9ull + other);
+             });
+      const TimePoint next = p.sim().now() + Duration::micros(periodUs);
+      p.promiseNoSendBefore(other, next);
+      if (next > stop) return;
+      p.sim().schedule(next,
+                       [this, id, periodUs, stop] { sender(id, periodUs, stop); });
+    }
+  };
+  auto driver = std::make_shared<Driver>(Driver{engine});
+  engine.partition(0).sim().schedule(TimePoint::epoch() + Duration::micros(43),
+                                     [driver] { driver->micro(0, 43); });
+  engine.partition(1).sim().schedule(TimePoint::epoch() + Duration::micros(37),
+                                     [driver] { driver->micro(1, 37); });
+  // Sender 0: ticks at 5, 10, ..., 25ms (arrivals on 1 at 6..26ms; none is
+  // a multiple of 37us). Sender 1: ticks at 3.5, 6.5, ..., 24.5ms (arrivals
+  // on 0 at 10.5..31.5ms; none is a multiple of 43us).
+  engine.partition(0).promiseNoSendBefore(
+      1, TimePoint::epoch() + Duration::millis(5));
+  engine.partition(1).promiseNoSendBefore(
+      0, TimePoint::epoch() + Duration::micros(3500));
+  engine.partition(0).sim().schedule(
+      TimePoint::epoch() + Duration::millis(5), [driver] {
+        driver->sender(0, 5000, TimePoint::epoch() + Duration::millis(25));
+      });
+  engine.partition(1).sim().schedule(
+      TimePoint::epoch() + Duration::micros(3500), [driver] {
+        driver->sender(1, 3000,
+                       TimePoint::epoch() + Duration::micros(24500));
+      });
+
+  PromiseWorkloadResult out;
+  out.report = engine.run(TimePoint::epoch() + Duration::millis(40));
+  out.digest = engine.auditDigest();
+  return out;
+}
+
+TEST(PdesAdaptive, CoalescingCutsRoundsWithByteIdenticalDigests) {
+  const PromiseWorkloadResult coalesced = promiseWorkload(99, 1, true);
+  const PromiseWorkloadResult plain = promiseWorkload(99, 1, false);
+  ASSERT_NE(coalesced.digest, 0u);
+
+  // Same simulated work, byte-identical digests...
+  EXPECT_EQ(coalesced.digest, plain.digest);
+  EXPECT_EQ(coalesced.report.eventsExecuted, plain.report.eventsExecuted);
+  EXPECT_EQ(coalesced.report.messagesDelivered,
+            plain.report.messagesDelivered);
+  // ...but provably fewer barrier crossings, and the counter shows the
+  // promises (not luck) extended the windows.
+  EXPECT_LT(coalesced.report.rounds, plain.report.rounds);
+  EXPECT_GT(coalesced.report.coalescedWindows, 0u);
+  EXPECT_EQ(plain.report.coalescedWindows, 0u);
+
+  // Idle-fraction telemetry: one entry per partition, each a fraction.
+  ASSERT_EQ(coalesced.report.idleFraction.size(), 2u);
+  for (const double f : coalesced.report.idleFraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+
+  // Both engine variants are thread-invariant.
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(promiseWorkload(99, threads, true).digest, coalesced.digest)
+        << "adaptive threads=" << threads;
+    EXPECT_EQ(promiseWorkload(99, threads, false).digest, plain.digest)
+        << "plain threads=" << threads;
+  }
+}
+
 // ------------------------------------------------- partitioned cluster
 
 cluster::PartitionedClusterConfig smallClusterConfig(std::uint64_t seed,
@@ -332,6 +491,124 @@ TEST(PdesCluster, VerifyThreadInvarianceComposesWithSeedSweep) {
         return run.fingerprint();
       });
   EXPECT_TRUE(report.identical) << report.describe();
+}
+
+TEST(PdesCluster, DirectLinkMigrationTakesTwoHops) {
+  // Migration-only regime: the pacing period dwarfs the measurement window,
+  // so the engine's message ledger contains exactly the migration protocol —
+  // drain order + snapshot hops — and the hop count is pinned precisely.
+  auto runMigrationOnly = [](bool direct) {
+    cluster::PartitionedClusterConfig cfg = smallClusterConfig(777, 1);
+    cfg.users = 24;
+    cfg.shards = 4;
+    cfg.updateRateHz = 0.01;  // first pacing tick far beyond the window
+    cfg.directShardLinks = direct;
+    cluster::PartitionedCluster run{cfg};
+    run.scheduleDrain(3, TimePoint::epoch() + Duration::millis(200));
+    return run.run(Duration::millis(400), Duration::seconds(1));
+  };
+
+  const cluster::PartitionedClusterStats direct = runMigrationOnly(true);
+  EXPECT_EQ(direct.migrations, 1u);
+  EXPECT_EQ(direct.migratedUsers, 6u);
+  EXPECT_EQ(direct.migrationHops, 2u);
+  // Order (control -> source) + snapshot (source -> target): two messages.
+  EXPECT_EQ(direct.engine.messagesDelivered, 2u);
+
+  const cluster::PartitionedClusterStats hub = runMigrationOnly(false);
+  EXPECT_EQ(hub.migrations, 1u);
+  EXPECT_EQ(hub.migratedUsers, direct.migratedUsers);
+  EXPECT_EQ(hub.migrationHops, 3u);
+  // Order + export (source -> control) + forward (control -> target).
+  EXPECT_EQ(hub.engine.messagesDelivered, 3u);
+}
+
+TEST(PdesCluster, TwoHopMigrationZeroLossUnderTraffic) {
+  // The exactly-once regression for the two-hop path: live update traffic
+  // during the drain, direct vs hub topology, both ledgers must balance and
+  // both must move the same room.
+  auto runWith = [](bool direct) {
+    cluster::PartitionedClusterConfig cfg = smallClusterConfig(4321, 1);
+    cfg.directShardLinks = direct;
+    cluster::PartitionedCluster run{cfg};
+    run.scheduleDrain(5, TimePoint::epoch() + Duration::millis(250));
+    return run.run(Duration::millis(500), Duration::seconds(1));
+  };
+  const cluster::PartitionedClusterStats direct = runWith(true);
+  const cluster::PartitionedClusterStats hub = runWith(false);
+  for (const auto* s : {&direct, &hub}) {
+    EXPECT_GT(s->broadcasts, 0u);
+    EXPECT_EQ(s->expectedDeliveries, s->delivered);
+    EXPECT_EQ(s->migrations, 1u);
+    EXPECT_EQ(s->migratedUsers, 15u);
+  }
+  EXPECT_EQ(direct.migrationHops, 2u);
+  EXPECT_EQ(hub.migrationHops, 3u);
+}
+
+TEST(PdesCluster, AdaptiveWindowsMatchUncoalescedDigestAcrossThreads) {
+  // The S4 acceptance matrix at cluster scale: {adaptive, plain} x threads
+  // {1, 2, 8} — six runs, one digest, and the adaptive runs must cross the
+  // barrier strictly fewer times.
+  auto runVariant = [](bool adaptive, unsigned threads) {
+    cluster::PartitionedClusterConfig cfg = smallClusterConfig(1234, threads);
+    cfg.adaptiveWindows = adaptive;
+    cluster::PartitionedCluster run{cfg};
+    run.scheduleDrain(5, TimePoint::epoch() + Duration::millis(250));
+    ClusterRunResult out;
+    out.stats = run.run(Duration::millis(500), Duration::seconds(1));
+    out.fp = run.fingerprint();
+    return out;
+  };
+
+  const ClusterRunResult coalesced = runVariant(true, 1);
+  const ClusterRunResult plain = runVariant(false, 1);
+  ASSERT_NE(coalesced.fp.digest, 0u);
+  EXPECT_EQ(coalesced.fp.digest, plain.fp.digest);
+  EXPECT_EQ(coalesced.stats.delivered, plain.stats.delivered);
+  EXPECT_LT(coalesced.stats.engine.rounds, plain.stats.engine.rounds);
+  EXPECT_GT(coalesced.stats.engine.coalescedWindows, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(runVariant(true, threads).fp.digest, coalesced.fp.digest)
+        << "adaptive threads=" << threads;
+    EXPECT_EQ(runVariant(false, threads).fp.digest, plain.fp.digest)
+        << "plain threads=" << threads;
+  }
+}
+
+TEST(PdesCluster, GhostLedgerBalancesAndIsThreadInvariant) {
+  // Interest-scoped forwarding over the direct mesh: lattice-placed users,
+  // AOI grid fan-out, and a ghost summary to the ring-next shard every
+  // pacing tick. The ghost ledger is exactly-once and the audit digest pins the
+  // ghost payloads across worker counts.
+  auto runGhosts = [](unsigned threads) {
+    cluster::PartitionedClusterConfig cfg = smallClusterConfig(555, threads);
+    cfg.users = 60;
+    cfg.shards = 3;
+    cfg.dataSpec.interestGrid = true;
+    cfg.latticeSpacingM = 2.0;
+    cfg.interestForwarding = true;
+    cfg.ghostRadiusM = 25.0;
+    cluster::PartitionedCluster run{cfg};
+    ClusterRunResult out;
+    out.stats = run.run(Duration::millis(300), Duration::seconds(1));
+    out.fp = run.fingerprint();
+    return out;
+  };
+
+  const ClusterRunResult base = runGhosts(1);
+  ASSERT_NE(base.fp.digest, 0u);
+  EXPECT_GT(base.stats.ghostsSent, 0u);
+  EXPECT_EQ(base.stats.ghostsSent, base.stats.ghostsReceived);
+  EXPECT_EQ(base.stats.expectedDeliveries, base.stats.delivered);
+
+  for (unsigned threads : {2u, 8u}) {
+    const ClusterRunResult r = runGhosts(threads);
+    EXPECT_EQ(r.fp.digest, base.fp.digest) << "threads=" << threads;
+    EXPECT_EQ(r.stats.ghostsSent, base.stats.ghostsSent)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

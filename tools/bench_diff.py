@@ -15,9 +15,13 @@ a noisy box.
 
 By default the exit status is always 0: a reporting tool, not a gate. With
 --gate PCT it becomes one — exit 1 when any benchmark's time regressed
-(got slower) by more than PCT percent. Speedups never gate, and benchmarks
-present in only one file are reported but don't gate either (renames and
-new benchmarks shouldn't fail a perf check). --only REGEX restricts the
+(got slower) by more than PCT percent. Speedups never gate. Benchmarks
+present only in the candidate file are reported as ``NEW`` with their
+measured values (so a fresh benchmark's numbers land in the report the run
+they first appear, instead of vanishing until a baseline is re-recorded)
+but never gate. Benchmarks present only in the *baseline* DO fail a
+--gate run: a row that silently vanished is how a perf gate rots — a
+rename must re-record the baseline in the same change. --only REGEX restricts the
 diff (and any gating) to benchmarks whose name matches the pattern — used
 in CI to gate just the hot-path rows. --max-alloc VALUE gates on the
 alloc-budget counters themselves: exit 1 when any candidate row's
@@ -96,8 +100,20 @@ def diff_rows(old: dict[str, dict], new: dict[str, dict], threshold: float):
     for name in names:
         o, n = old.get(name), new.get(name)
         if o is None or n is None:
-            out.append(
-                {"name": name, "only_in": "new" if o is None else "old"})
+            entry = {"name": name, "only_in": "new" if o is None else "old"}
+            row = n if o is None else o
+            entry["time_ns"] = row.get("real_time_ns", 0.0)
+            for key in COUNTER_KEYS:
+                if key in row:
+                    entry["rate_key"] = key
+                    entry["rate"] = row[key]
+                    break
+            allocs = sorted(k for k in row if k.startswith("allocs_per_"))
+            if allocs:
+                entry["alloc"] = row[allocs[0]]
+                if o is None:
+                    entry["new_allocs"] = {k: row[k] for k in allocs}
+            out.append(entry)
             continue
         entry = {
             "name": name,
@@ -130,8 +146,17 @@ def render(entries, fmt: str, threshold: float) -> str:
     table = []
     for e in entries:
         if "only_in" in e:
-            table.append([e["name"], f"(only in {e['only_in']} file)",
-                          "", "", "", "", "", ""])
+            time_s = fmt_time(e.get("time_ns", 0.0))
+            rate_s = fmt_rate(e["rate"]) if "rate" in e else ""
+            alloc_s = f"{e['alloc']:.3g}" if "alloc" in e else ""
+            if e["only_in"] == "new":
+                # A benchmark seen for the first time: report its values in
+                # the "new" columns so the numbers are on record immediately.
+                table.append([e["name"], "", time_s, "NEW",
+                              "", rate_s, "", alloc_s])
+            else:
+                table.append([e["name"], time_s, "", "VANISHED",
+                              rate_s, "", "", alloc_s])
             continue
         mark = " !" if e["flag"] else ""
         alloc = ""
@@ -212,6 +237,7 @@ def main(argv: list[str]) -> int:
         regressed = [e for e in entries
                      if e.get("time_pct") is not None
                      and e["time_pct"] > args.gate]
+        vanished = [e for e in entries if e.get("only_in") == "old"]
         if regressed:
             failed = True
             print(f"\nGATE FAILED: {len(regressed)} benchmark(s) regressed "
@@ -219,8 +245,18 @@ def main(argv: list[str]) -> int:
             for e in regressed:
                 print(f"  {e['name']}: {fmt_pct(e['time_pct'])}",
                       file=sys.stderr)
-        else:
-            print(f"\ngate ok: no time regression beyond +{args.gate:g}%")
+        if vanished:
+            # A baseline row with no candidate counterpart means the gate
+            # quietly stopped covering it — fail so renames re-record the
+            # baseline in the same change.
+            failed = True
+            print(f"\nGATE FAILED: {len(vanished)} baseline benchmark(s) "
+                  "missing from the candidate file:", file=sys.stderr)
+            for e in vanished:
+                print(f"  {e['name']}", file=sys.stderr)
+        if not regressed and not vanished:
+            print(f"\ngate ok: no time regression beyond +{args.gate:g}% "
+                  "and no vanished baseline rows")
     return 1 if failed else 0
 
 

@@ -2,7 +2,8 @@
 # Runs the simulator-substrate micro-benchmarks and writes the machine-
 # readable results to BENCH_simcore_perf.json (git-ignored), then smoke-runs
 # the cluster planet-scale bench at a small configuration (its exit status
-# enforces the zero-loss migration invariant).
+# enforces the zero-loss migration invariant) and a scaled copy of its
+# --million mode (digest identity across worker counts, ghost ledger).
 #
 #   tools/run_simcore_bench.sh [build-dir] [extra google-benchmark args...]
 #
@@ -86,6 +87,18 @@ MSIM_CLUSTER_INSTANCES="${MSIM_CLUSTER_INSTANCES:-8}" \
 MSIM_SEEDS="${MSIM_SEEDS:-2}" \
 MSIM_MEASURE_S="${MSIM_MEASURE_S:-3}" \
   "$CLUSTER_BIN"
+
+echo ""
+echo "== million-mode smoke (scaled down; the real thing is --million at 1M) =="
+# A scaled copy of the 1M-user partitioned run: same 64-shard direct-link
+# mesh, adaptive windows, AOI lattice and mid-run drain, with the user count
+# shrunk so the smoke stays in CI time. Its exit status enforces the digest
+# identity across {1,2,8} workers, the zero-loss invariant, and the ghost
+# ledger balance. MSIM_MILLION_USERS overrides the smoke population.
+MSIM_CLUSTER_USERS="${MSIM_MILLION_USERS:-20000}" \
+MSIM_CLUSTER_INSTANCES=64 \
+MSIM_MEASURE_S="${MSIM_MEASURE_S:-1}" \
+  "$CLUSTER_BIN" --million
 
 CHURN_BIN="$BUILD_DIR/bench/bench_session_churn"
 if [ ! -x "$CHURN_BIN" ]; then
